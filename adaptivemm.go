@@ -1,0 +1,202 @@
+// Package adaptivemm is a Go implementation of the adaptive matrix
+// mechanism of Li & Miklau, "An Adaptive Mechanism for Accurate Query
+// Answering under Differential Privacy" (VLDB 2012).
+//
+// Given a workload of linear counting queries over a histogram of cell
+// counts, the Eigen-Design algorithm automatically selects a set of
+// "strategy" queries to answer privately with the Gaussian mechanism under
+// (ε,δ)-differential privacy; answers to the workload are then derived by
+// least squares. The strategy adapts to the workload and typically incurs
+// far less error than answering the workload directly — with no cost to
+// the privacy guarantee.
+//
+// Typical use:
+//
+//	w := adaptivemm.AllRange(256)                     // the queries you care about
+//	s, err := adaptivemm.Design(w)                    // adapt a strategy to them
+//	p := adaptivemm.Privacy{Epsilon: 0.5, Delta: 1e-4}
+//	answers, err := s.Answer(w, histogram, p, rng)    // one private release
+//
+// Analytic error and the Thm 2 lower bound are available without touching
+// data via Error and LowerBound.
+package adaptivemm
+
+import (
+	"math/rand"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/workload"
+)
+
+// Privacy bundles the differential-privacy parameters (ε, δ). δ > 0 is
+// required for the Gaussian mechanism this package is built on.
+type Privacy = mm.Privacy
+
+// Workload is a set of linear counting queries over a multi-dimensional
+// histogram. Construct instances with the builders below.
+type Workload = workload.Workload
+
+// Strategy is a prepared strategy for the matrix mechanism: the strategy
+// matrix together with the least-squares inference operator.
+type Strategy struct {
+	name string
+	mech *mm.Mechanism
+	// Eigenvalues of WᵀW when produced by Design; nil otherwise.
+	eigenvalues []float64
+}
+
+// Name returns a human-readable strategy label.
+func (s *Strategy) Name() string { return s.name }
+
+// Matrix returns the strategy's query matrix rows as a copy.
+func (s *Strategy) Matrix() [][]float64 {
+	a := s.mech.Strategy()
+	out := make([][]float64, a.Rows())
+	for i := range out {
+		out[i] = append([]float64(nil), a.Row(i)...)
+	}
+	return out
+}
+
+// Answer performs one (ε,δ)-differentially private release: it answers the
+// strategy queries on the histogram x with Gaussian noise and derives
+// consistent answers to every query of w by least squares.
+func (s *Strategy) Answer(w *Workload, x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+	return s.mech.AnswerGaussian(w, x, p, r)
+}
+
+// Estimate returns the differentially private estimate x̂ of the full
+// histogram, from which callers can answer arbitrary linear queries
+// consistently (all derived answers share the one privacy budget).
+func (s *Strategy) Estimate(x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+	return s.mech.EstimateGaussian(x, p, r)
+}
+
+// Error returns the analytic root-mean-square error of answering w with
+// this strategy (Prop. 4 of the paper). It does not depend on the data.
+func (s *Strategy) Error(w *Workload, p Privacy) (float64, error) {
+	return mm.Error(w, s.mech.Strategy(), p)
+}
+
+// DesignOption customizes Design.
+type DesignOption func(*core.Options)
+
+// WithFirstOrderSolver forces the scalable first-order optimizer, useful
+// for very large domains.
+func WithFirstOrderSolver() DesignOption {
+	return func(o *core.Options) { o.Solver = core.SolverFirstOrder }
+}
+
+// Design runs the Eigen-Design algorithm on the workload and returns the
+// adapted strategy (Program 2 of the paper).
+func Design(w *Workload, opts ...DesignOption) (*Strategy, error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	res, err := core.Design(w, o)
+	if err != nil {
+		return nil, err
+	}
+	return newStrategy("EigenDesign", res.Strategy, res.Eigenvalues)
+}
+
+// DesignSeparated runs the eigen-query separation optimization (Sec 4.2):
+// near-optimal strategies at a fraction of the optimization cost. A group
+// size near n^(1/3) balances the two optimization phases.
+func DesignSeparated(w *Workload, groupSize int, opts ...DesignOption) (*Strategy, error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	res, err := core.EigenSeparation(w, groupSize, o)
+	if err != nil {
+		return nil, err
+	}
+	return newStrategy("EigenDesign(separated)", res.Strategy, res.Eigenvalues)
+}
+
+// DesignPrincipal runs the principal-vector optimization (Sec 4.2): only
+// the k most significant eigen-queries receive individual weights.
+func DesignPrincipal(w *Workload, k int, opts ...DesignOption) (*Strategy, error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	res, err := core.PrincipalVectors(w, k, o)
+	if err != nil {
+		return nil, err
+	}
+	return newStrategy("EigenDesign(principal)", res.Strategy, res.Eigenvalues)
+}
+
+func newStrategy(name string, a *linalg.Matrix, eigenvalues []float64) (*Strategy, error) {
+	mech, err := mm.NewMechanism(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{name: name, mech: mech, eigenvalues: eigenvalues}, nil
+}
+
+// Error computes the analytic workload error of answering w with an
+// arbitrary strategy matrix (rows of strategy queries).
+func Error(w *Workload, strategyRows [][]float64, p Privacy) (float64, error) {
+	return mm.Error(w, linalg.NewFromRows(strategyRows), p)
+}
+
+// LowerBound returns the singular-value lower bound (Thm 2): no strategy
+// can answer w with less error under the (ε,δ)-matrix mechanism.
+func LowerBound(w *Workload, p Privacy) (float64, error) {
+	return mm.LowerBound(w, p)
+}
+
+// --- Workload builders ---
+
+// FromRows builds a workload from explicit query rows over a histogram
+// whose dimensions are dims (their product must equal the row length).
+func FromRows(name string, rows [][]float64, dims ...int) *Workload {
+	return workload.FromMatrix(name, domain.MustShape(dims...), linalg.NewFromRows(rows))
+}
+
+// IdentityWorkload returns the workload of all single-cell counts.
+func IdentityWorkload(dims ...int) *Workload {
+	return workload.Identity(domain.MustShape(dims...))
+}
+
+// AllRange returns the workload of all axis-aligned range queries over the
+// given dimensions. Large instances are represented implicitly (error
+// analysis and Design work; per-query answering needs explicit workloads).
+func AllRange(dims ...int) *Workload {
+	return workload.AllRange(domain.MustShape(dims...))
+}
+
+// RandomRange samples count random range queries.
+func RandomRange(count int, r *rand.Rand, dims ...int) *Workload {
+	return workload.RandomRange(domain.MustShape(dims...), count, r)
+}
+
+// Prefix returns the 1-D CDF (prefix-sum) workload on n cells.
+func Prefix(n int) *Workload { return workload.Prefix(n) }
+
+// Marginals returns all k-way marginals over the given dimensions.
+func Marginals(k int, dims ...int) *Workload {
+	return workload.Marginals(domain.MustShape(dims...), k)
+}
+
+// RangeMarginals returns all k-way range-marginal queries (ranges over the
+// margin attributes), which answer aggregations on margins directly.
+func RangeMarginals(k int, dims ...int) *Workload {
+	return workload.RangeMarginals(domain.MustShape(dims...), k)
+}
+
+// Predicate samples count uniformly random 0/1 predicate queries.
+func Predicate(count int, r *rand.Rand, dims ...int) *Workload {
+	return workload.Predicate(domain.MustShape(dims...), count, r)
+}
+
+// Union combines several workloads over the same dimensions, e.g. the
+// queries of multiple users sharing one privacy budget.
+func Union(name string, ws ...*Workload) *Workload { return workload.Union(name, ws...) }

@@ -1,0 +1,153 @@
+package adaptivemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var testPrivacy = Privacy{Epsilon: 0.5, Delta: 1e-4}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	w := AllRange(32)
+	s, err := Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := LowerBound(w, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Error(w, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < lb || e > 1.3*lb {
+		t.Fatalf("error %g vs lower bound %g outside the paper's envelope", e, lb)
+	}
+}
+
+func TestPublicAnswerOnData(t *testing.T) {
+	w := Marginals(1, 4, 4)
+	s, err := Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(10 + i)
+	}
+	r := rand.New(rand.NewSource(1))
+	ans, err := s.Answer(w, x, testPrivacy, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != w.NumQueries() {
+		t.Fatalf("got %d answers for %d queries", len(ans), w.NumQueries())
+	}
+	// Consistency: both 1-way marginals must sum to the same total.
+	var m0, m1 float64
+	for i := 0; i < 4; i++ {
+		m0 += ans[i]
+		m1 += ans[4+i]
+	}
+	if math.Abs(m0-m1) > 1e-6 {
+		t.Fatalf("inconsistent marginals: %g vs %g", m0, m1)
+	}
+}
+
+func TestPublicEstimate(t *testing.T) {
+	w := Prefix(8)
+	s, err := Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	r := rand.New(rand.NewSource(2))
+	xhat, err := s.Estimate(x, testPrivacy, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xhat) != 8 {
+		t.Fatalf("estimate length %d", len(xhat))
+	}
+}
+
+func TestPublicDesignVariants(t *testing.T) {
+	w := AllRange(27)
+	exact, err := Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := DesignSeparated(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := DesignPrincipal(w, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := Design(w, WithFirstOrderSolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eExact, _ := exact.Error(w, testPrivacy)
+	for _, s := range []*Strategy{sep, pv, fo} {
+		e, err := s.Error(w, testPrivacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > 1.2*eExact {
+			t.Fatalf("%s error %g too far above exact %g", s.Name(), e, eExact)
+		}
+	}
+}
+
+func TestPublicErrorWithCustomStrategy(t *testing.T) {
+	w := IdentityWorkload(4)
+	rows := [][]float64{
+		{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+	}
+	e, err := Error(w, rows, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(testPrivacy.P())
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("identity-on-identity error %g, want %g", e, want)
+	}
+}
+
+func TestPublicBuilders(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if w := RandomRange(15, r, 4, 4); w.NumQueries() != 15 {
+		t.Fatalf("RandomRange m = %d", w.NumQueries())
+	}
+	if w := Predicate(9, r, 8); w.NumQueries() != 9 {
+		t.Fatalf("Predicate m = %d", w.NumQueries())
+	}
+	if w := RangeMarginals(1, 3, 3); w.NumQueries() != 12 {
+		t.Fatalf("RangeMarginals m = %d", w.NumQueries())
+	}
+	u := Union("u", IdentityWorkload(4), Prefix(4))
+	if u.NumQueries() != 8 {
+		t.Fatalf("Union m = %d", u.NumQueries())
+	}
+	f := FromRows("f", [][]float64{{1, 1, 0, 0}}, 2, 2)
+	if f.NumQueries() != 1 || f.Cells() != 4 {
+		t.Fatal("FromRows wrong")
+	}
+}
+
+func TestStrategyMatrixIsCopy(t *testing.T) {
+	w := Prefix(4)
+	s, err := Design(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Matrix()
+	m[0][0] = 12345
+	if s.Matrix()[0][0] == 12345 {
+		t.Fatal("Matrix() exposed internal state")
+	}
+}

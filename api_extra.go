@@ -1,0 +1,110 @@
+package adaptivemm
+
+import (
+	"math/rand"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/opt"
+	"adaptivemm/internal/workload"
+)
+
+// DesignMarginalsExact returns the provably optimal strategy for a
+// workload that is a union of marginals over the listed attribute subsets
+// (e.g. [][]int{{0,1},{0,2},{1,2}} for the 2-way marginals of a
+// 3-attribute domain). It exploits the closed-form spectral structure of
+// marginal workloads — no O(n³) work — and its error meets the Thm 2 lower
+// bound exactly.
+func DesignMarginalsExact(subsets [][]int, dims ...int) (*Strategy, error) {
+	res, err := core.DesignMarginals(domain.MustShape(dims...), subsets)
+	if err != nil {
+		return nil, err
+	}
+	return newStrategy("EigenDesign(marginals, exact)", res.Strategy, res.Eigenvalues)
+}
+
+// Refine polishes a strategy toward the exact optimum of the strategy
+// selection problem by projected gradient descent (practical for small
+// domains; the problem is convex in AᵀA so with the Design output as the
+// start the result approximates the global optimum). Use it to certify
+// how far from optimal a design is, as the paper does in Example 4.
+func Refine(w *Workload, s *Strategy, iterations int) (*Strategy, error) {
+	refined, err := opt.RefineStrategy(w.Gram(), s.mech.Strategy(), opt.RefineOptions{Iterations: iterations})
+	if err != nil {
+		return nil, err
+	}
+	return newStrategy(s.name+"+refined", refined, s.eigenvalues)
+}
+
+// DesignL1 runs the ε-differential-privacy (Laplace / L1) variant of the
+// weighting program over a design basis (Sec 3.5). basisRows may be nil to
+// use the workload's eigen-queries, though for L1 a structured basis such
+// as the wavelet often works better (as the paper notes).
+func DesignL1(w *Workload, basisRows [][]float64) (*Strategy, error) {
+	o := core.Options{L1: true}
+	if basisRows != nil {
+		o.DesignBasis = linalg.NewFromRows(basisRows)
+	}
+	res, err := core.Design(w, o)
+	if err != nil {
+		return nil, err
+	}
+	return newStrategy("EigenDesign(L1)", res.Strategy, res.Eigenvalues)
+}
+
+// AnswerLaplace performs one pure ε-differentially private release using
+// Laplace noise calibrated to the strategy's L1 sensitivity.
+func (s *Strategy) AnswerLaplace(w *Workload, x []float64, epsilon float64, r *rand.Rand) ([]float64, error) {
+	xhat, err := s.mech.EstimateLaplace(x, epsilon, r)
+	if err != nil {
+		return nil, err
+	}
+	return w.Matrix().MulVec(xhat), nil
+}
+
+// ErrorL1 returns the analytic RMSE of answering w with this strategy
+// under the ε-matrix mechanism (Laplace noise, L1 sensitivity).
+func (s *Strategy) ErrorL1(w *Workload, epsilon float64) (float64, error) {
+	return mm.ErrorL1(w, s.mech.Strategy(), epsilon)
+}
+
+// EstimateNonNegative is Estimate followed by projection onto non-negative
+// cell counts (free post-processing that often reduces error on sparse
+// data).
+func (s *Strategy) EstimateNonNegative(x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+	return s.mech.EstimateGaussianNonNegative(x, p, r)
+}
+
+// QueryVariances returns the exact noise variance of each query answer of
+// an explicit workload under this strategy; combine with
+// ConfidenceInterval for error bars on released answers.
+func (s *Strategy) QueryVariances(w *Workload, p Privacy) ([]float64, error) {
+	return s.mech.QueryVariances(w, p)
+}
+
+// ConfidenceInterval returns the half-width of an exact two-sided Gaussian
+// confidence interval at the given level for an answer with the given
+// variance.
+func ConfidenceInterval(variance, level float64) (float64, error) {
+	return mm.ConfidenceInterval(variance, level)
+}
+
+// FromRowsStrategy wraps explicit strategy query rows (e.g. a hand-built
+// wavelet or hierarchical matrix) as a usable Strategy, preparing its
+// least-squares inference operator.
+func FromRowsStrategy(rows [][]float64) (*Strategy, error) {
+	return newStrategy("custom", linalg.NewFromRows(rows), nil)
+}
+
+// AllPredicate returns the workload of all nonempty predicate queries
+// (implicit; see the workload package for the normalization note).
+func AllPredicate(dims ...int) *Workload {
+	return workload.AllPredicate(domain.MustShape(dims...))
+}
+
+// AllMarginals returns the union of k-way marginals for every k.
+func AllMarginals(dims ...int) *Workload {
+	return workload.AllMarginals(domain.MustShape(dims...))
+}

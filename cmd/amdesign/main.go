@@ -1,0 +1,175 @@
+// Command amdesign designs a matrix-mechanism strategy for a workload of
+// linear counting queries and reports its expected error, optionally
+// producing a differentially private release of a histogram.
+//
+// The workload comes either from a compact specification,
+//
+//	amdesign -workload allrange:8x16
+//	amdesign -workload marginals:2:8x8x4
+//
+// or from a CSV file of query rows:
+//
+//	amdesign -workload-csv queries.csv -shape 8x16
+//
+// Add -data histogram.csv to produce one private release of the workload
+// answers, and -strategy-out strategy.csv to save the designed strategy.
+//
+//	amdesign -workload allrange:8x16 -eps 0.5 -delta 1e-4 -data counts.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/wio"
+	"adaptivemm/internal/workload"
+)
+
+func main() {
+	var (
+		spec       = flag.String("workload", "", "workload spec, e.g. allrange:8x16, marginals:2:8x8x4, prefix:256, fig1")
+		csvPath    = flag.String("workload-csv", "", "CSV file of query rows (one query per line)")
+		shapeStr   = flag.String("shape", "", "domain shape for -workload-csv, e.g. 8x16")
+		eps        = flag.Float64("eps", 0.5, "privacy parameter ε")
+		delta      = flag.Float64("delta", 1e-4, "privacy parameter δ")
+		seed       = flag.Int64("seed", 1, "random seed")
+		dataPath   = flag.String("data", "", "histogram CSV; produces one private release")
+		stratOut   = flag.String("strategy-out", "", "write the designed strategy matrix to this CSV file")
+		separation = flag.Int("separation", 0, "use eigen-query separation with this group size")
+		principal  = flag.Int("principal", 0, "use the principal-vector optimization with k vectors")
+		firstOrder = flag.Bool("first-order", false, "force the scalable first-order solver")
+	)
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+	w, err := loadWorkload(*spec, *csvPath, *shapeStr, r)
+	if err != nil {
+		fail(err)
+	}
+	p := mm.Privacy{Epsilon: *eps, Delta: *delta}
+	if err := p.Validate(); err != nil {
+		fail(err)
+	}
+
+	opts := core.Options{}
+	if *firstOrder {
+		opts.Solver = core.SolverFirstOrder
+	}
+	var res *core.Result
+	switch {
+	case *separation > 0:
+		res, err = core.EigenSeparation(w, *separation, opts)
+	case *principal > 0:
+		res, err = core.PrincipalVectors(w, *principal, opts)
+	default:
+		res, err = core.Design(w, opts)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	e, err := mm.Error(w, res.Strategy, p)
+	if err != nil {
+		fail(err)
+	}
+	lb, err := mm.LowerBound(w, p)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("workload:        %s (%d queries, %d cells)\n", w.Name(), w.NumQueries(), w.Cells())
+	fmt.Printf("strategy:        %d queries, rank %d\n", res.Strategy.Rows(), res.Rank)
+	fmt.Printf("expected RMSE:   %.4g  (ε=%g, δ=%g)\n", e, *eps, *delta)
+	fmt.Printf("lower bound:     %.4g  (ratio %.3f)\n", lb, e/lb)
+	if len(res.Eigenvalues) > 0 {
+		fmt.Printf("Thm 3 ratio cap: %.3f\n", core.ApproxRatioBound(res.Eigenvalues))
+	}
+
+	if *stratOut != "" {
+		if err := writeStrategy(*stratOut, res.Strategy); err != nil {
+			fail(err)
+		}
+		fmt.Printf("strategy written to %s\n", *stratOut)
+	}
+
+	if *dataPath != "" {
+		if err := release(w, res.Strategy, *dataPath, p, r); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func loadWorkload(spec, csvPath, shapeStr string, r *rand.Rand) (*workload.Workload, error) {
+	switch {
+	case spec != "" && csvPath != "":
+		return nil, fmt.Errorf("amdesign: use either -workload or -workload-csv, not both")
+	case spec != "":
+		return wio.ParseWorkloadSpec(spec, r)
+	case csvPath != "":
+		if shapeStr == "" {
+			return nil, fmt.Errorf("amdesign: -workload-csv requires -shape")
+		}
+		shape, err := wio.ParseShape(shapeStr)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := wio.ReadMatrixCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		return workload.FromMatrix(csvPath, shape, m), nil
+	default:
+		return nil, fmt.Errorf("amdesign: provide -workload or -workload-csv (try -workload fig1)")
+	}
+}
+
+func writeStrategy(path string, a *linalg.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return wio.WriteMatrixCSV(f, a)
+}
+
+func release(w *workload.Workload, a *linalg.Matrix, dataPath string, p mm.Privacy, r *rand.Rand) error {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	x, err := wio.ReadVectorCSV(f)
+	if err != nil {
+		return err
+	}
+	if len(x) != w.Cells() {
+		return fmt.Errorf("amdesign: histogram has %d cells, workload expects %d", len(x), w.Cells())
+	}
+	mech, err := mm.NewMechanism(a)
+	if err != nil {
+		return err
+	}
+	ans, err := mech.AnswerGaussian(w, x, p, r)
+	if err != nil {
+		return err
+	}
+	fmt.Println("private answers:")
+	for i, v := range ans {
+		fmt.Printf("%d,%.6g\n", i, v)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

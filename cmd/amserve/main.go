@@ -1,0 +1,27 @@
+// Command amserve runs the batch query-answering HTTP service: analysts
+// POST a workload to /design once, then request differentially private
+// releases from /answer; the server tracks cumulative privacy spend per
+// dataset at /ledger.
+//
+//	amserve -addr :8080
+//	curl -X POST localhost:8080/design -d '{"workload":"allrange:8x16"}'
+//	curl -X POST localhost:8080/answer -d '{"strategy":"s1","dataset":"db",
+//	     "histogram":[...],"epsilon":0.5,"delta":1e-4}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"adaptivemm/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	log.Printf("amserve listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, server.New().Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

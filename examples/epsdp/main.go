@@ -1,0 +1,98 @@
+// Pure ε-differential privacy: the Sec 3.5 variant. When δ = 0 is
+// required, the mechanism switches to Laplace noise calibrated to L1
+// sensitivity, and the weighting program optimizes L1 column norms over a
+// structured design basis (the paper recommends the wavelet for ranges,
+// since the eigen-queries do not account for L1 sensitivity).
+//
+// This example designs an L1-weighted strategy for range queries, compares
+// its expected error against the unweighted wavelet, and runs one Laplace
+// release.
+//
+// Run with: go run ./examples/epsdp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"adaptivemm"
+)
+
+func main() {
+	const n = 64
+	w := adaptivemm.AllRange(n)
+	epsilon := 1.0
+
+	// The wavelet strategy rows, used both as the unweighted baseline and
+	// as the design basis for the L1 weighting.
+	wavelet := haarRows(n)
+
+	baseline, err := adaptivemm.FromRowsStrategy(wavelet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weighted, err := adaptivemm.DesignL1(w, wavelet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eBase, err := baseline.ErrorL1(w, epsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eWeighted, err := weighted.ErrorL1(w, epsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ε-DP expected RMSE on all ranges [%d], ε=%g:\n", n, epsilon)
+	fmt.Printf("  plain wavelet:        %.2f\n", eBase)
+	fmt.Printf("  L1-weighted wavelet:  %.2f  (%.2fx better)\n", eWeighted, eBase/eWeighted)
+
+	// One pure ε-DP release over a toy histogram.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(100 + (i%7)*10)
+	}
+	r := rand.New(rand.NewSource(9))
+
+	// Answer a handful of ranges from the private estimate.
+	queries := adaptivemm.RandomRange(5, r, n)
+	ans, err := weighted.AnswerLaplace(queries, x, epsilon, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := queries.Matrix()
+	fmt.Println("\nsample range queries (private vs true):")
+	for i, a := range ans {
+		var truth float64
+		for j, q := range rows.Row(i) {
+			truth += q * x[j]
+		}
+		fmt.Printf("  query %d: %10.1f  (%.0f)\n", i, a, truth)
+	}
+}
+
+// haarRows builds the unnormalized Haar wavelet rows for n = 2^k cells.
+func haarRows(n int) [][]float64 {
+	var rows [][]float64
+	total := make([]float64, n)
+	for j := range total {
+		total[j] = 1
+	}
+	rows = append(rows, total)
+	for block := n; block >= 2; block /= 2 {
+		for start := 0; start < n; start += block {
+			row := make([]float64, n)
+			half := block / 2
+			for j := start; j < start+half; j++ {
+				row[j] = 1
+			}
+			for j := start + half; j < start+block; j++ {
+				row[j] = -1
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,83 @@
+// Marginal release: publish all 1-way and 2-way marginals of a survey
+// table under (ε,δ)-differential privacy, the contingency-table use case of
+// Barak et al. and Ding et al. that the paper's Sec 5 evaluates.
+//
+// The adaptive strategy matches the optimal error for marginal workloads
+// (the paper's Fig 3c), and the released marginals are mutually consistent
+// because they all derive from one private histogram estimate.
+//
+// Run with: go run ./examples/marginalrelease
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"adaptivemm"
+	"adaptivemm/internal/dataset"
+)
+
+func main() {
+	// An Adult-like survey table (synthetic stand-in for the UCI dataset),
+	// projected onto age × work class × income: 8 × 8 × 2 = 128 cells.
+	adult, err := dataset.AdultLike().Project([]int{0, 1, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s, %d weighted tuples\n", adult.Name, int(adult.Total))
+
+	// Workload: all 1-way and 2-way marginals.
+	w := adaptivemm.Union("1- and 2-way marginals",
+		adaptivemm.Marginals(1, 8, 8, 2),
+		adaptivemm.Marginals(2, 8, 8, 2),
+	)
+	fmt.Printf("workload: %d marginal cells\n", w.NumQueries())
+
+	p := adaptivemm.Privacy{Epsilon: 1.0, Delta: 1e-4}
+	s, err := adaptivemm.Design(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expected, err := s.Error(w, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := adaptivemm.LowerBound(w, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected RMSE per marginal cell: %.1f (optimal ≥ %.1f)\n", expected, bound)
+
+	r := rand.New(rand.NewSource(11))
+	answers, err := s.Answer(w, adult.X, p, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The first 8 answers are the age marginal; print it.
+	fmt.Println("\nage marginal (private vs true):")
+	for a := 0; a < 8; a++ {
+		var truth float64
+		for i, v := range adult.X {
+			if i/(8*2) == a {
+				truth += v
+			}
+		}
+		fmt.Printf("  age bucket %d: %10.1f  (%.1f)\n", a, answers[a], truth)
+	}
+
+	// Consistency across marginals: the income marginal computed two ways
+	// (directly, and by summing the age×income marginal over age) agrees
+	// exactly — a property independent noise cannot provide.
+	incomeDirect := answers[8+8] // after age(8) and work(8) marginals
+	// age×income is the second 2-way marginal block: after 1-way (8+8+2)
+	// and age×work (64): 16 cells of age×income.
+	base := 8 + 8 + 2 + 64
+	var incomeSummed float64
+	for a := 0; a < 8; a++ {
+		incomeSummed += answers[base+a*2] // income bucket 0 for each age
+	}
+	fmt.Printf("\nconsistency: income[0] direct %.4f vs summed over ages %.4f\n",
+		incomeDirect, incomeSummed)
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/workload"
+)
+
+func TestDesignMarginalsMeetsBoundExactly(t *testing.T) {
+	// The closed form achieves the Thm 2 singular value bound exactly:
+	// β_T = m_T/n makes the Lagrange objective equal svdb(W).
+	cases := []struct {
+		shape   domain.Shape
+		subsets [][]int
+	}{
+		{domain.MustShape(4, 4), [][]int{{0}, {1}}},
+		{domain.MustShape(3, 4, 2), [][]int{{0, 1}, {0, 2}, {1, 2}}},
+		{domain.MustShape(2, 2, 2), [][]int{{0, 1, 2}}},
+		{domain.MustShape(5, 3), [][]int{{0}, {1}, {0, 1}, {}}},
+	}
+	for _, c := range cases {
+		res, err := DesignMarginals(c.shape, c.subsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := workload.MarginalSet("m", c.shape, c.subsets)
+		e, err := mm.Error(w, res.Strategy, testPrivacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := mm.LowerBound(w, testPrivacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e/lb-1) > 1e-6 {
+			t.Fatalf("%v %v: error %g != bound %g (ratio %g)", c.shape, c.subsets, e, lb, e/lb)
+		}
+	}
+}
+
+func TestDesignMarginalsMatchesGenericDesign(t *testing.T) {
+	// The generic eigen-design should find (numerically) the same optimum.
+	shape := domain.MustShape(3, 3, 2)
+	subsets := [][]int{{0}, {1}, {0, 1}, {2}}
+	res, err := DesignMarginals(shape, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.MarginalSet("m", shape, subsets)
+	closed, err := mm.Error(w, res.Strategy, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic := designError(t, w, Options{})
+	if math.Abs(closed-generic) > 0.01*closed {
+		t.Fatalf("closed form %g vs generic %g", closed, generic)
+	}
+	if generic < closed*(1-1e-9) {
+		t.Fatal("generic beat the provably optimal closed form")
+	}
+}
+
+func TestDesignMarginalsEigenvaluesMatchGram(t *testing.T) {
+	shape := domain.MustShape(3, 4)
+	subsets := [][]int{{0}, {0, 1}}
+	res, err := DesignMarginals(shape, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.MarginalSet("m", shape, subsets)
+	eg, err := linalg.SymEigen(w.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), eg.Values...)
+	got := append([]float64(nil), res.Eigenvalues...)
+	// Pad closed-form list with zeros to n.
+	for len(got) < len(want) {
+		got = append(got, 0)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(got)))
+	for i := range want {
+		if math.Abs(got[i]-math.Max(want[i], 0)) > 1e-8*(1+want[i]) {
+			t.Fatalf("eigenvalue %d: closed form %g vs gram %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDesignMarginalsSupportsWorkload(t *testing.T) {
+	shape := domain.MustShape(4, 2, 3)
+	subsets := [][]int{{0, 2}, {1}}
+	res, err := DesignMarginals(shape, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.MarginalSet("m", shape, subsets)
+	if _, err := mm.ErrorChecked(w, res.Strategy, testPrivacy); err != nil {
+		t.Fatalf("closed-form strategy does not support its workload: %v", err)
+	}
+}
+
+func TestDesignMarginalsRepeatedSubsetsAddWeight(t *testing.T) {
+	// Requesting a marginal twice shifts weight toward it: its own error
+	// must not increase, and the sibling marginal's error must not drop.
+	shape := domain.MustShape(4, 4)
+	once, err := DesignMarginals(shape, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := DesignMarginals(shape, [][]int{{0}, {0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := workload.MarginalSet("m0", shape, [][]int{{0}})
+	e1, err := mm.Error(m0, once.Strategy, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := mm.Error(m0, twice.Strategy, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= e1 {
+		t.Fatalf("doubling a marginal did not reduce its error: %g vs %g", e2, e1)
+	}
+}
+
+func TestDesignMarginalsTotalOnly(t *testing.T) {
+	// The empty subset (total query) alone.
+	shape := domain.MustShape(4, 4)
+	res, err := DesignMarginals(shape, [][]int{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.MarginalSet("total", shape, [][]int{{}})
+	e, err := mm.Error(w, res.Strategy, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := mm.LowerBound(w, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e/lb-1) > 1e-6 {
+		t.Fatalf("total-only error %g != bound %g", e, lb)
+	}
+}
+
+func TestDesignMarginalsValidation(t *testing.T) {
+	shape := domain.MustShape(2, 2)
+	if _, err := DesignMarginals(shape, nil); err == nil {
+		t.Fatal("accepted empty subsets")
+	}
+	if _, err := DesignMarginals(shape, [][]int{{5}}); err == nil {
+		t.Fatal("accepted out-of-range attribute")
+	}
+}
+
+func TestDesignMarginalsUnitDimension(t *testing.T) {
+	// A dimension of size 1 contributes no Helmert vectors; the designer
+	// must still work.
+	shape := domain.MustShape(4, 1, 3)
+	res, err := DesignMarginals(shape, [][]int{{0}, {2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.MarginalSet("m", shape, [][]int{{0}, {2}, {0, 2}})
+	e, err := mm.Error(w, res.Strategy, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := mm.LowerBound(w, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e/lb-1) > 1e-6 {
+		t.Fatalf("unit-dim error %g != bound %g", e, lb)
+	}
+}
+
+func TestDesignMarginalsLargeDomainFast(t *testing.T) {
+	// The whole point: exact optimal marginal strategies at scale (512
+	// cells here; the sec41 experiment goes to 2048) in milliseconds, with
+	// no O(n³) decomposition. Verification via mm.Error is the slow part,
+	// which is why this test stops at 512 cells.
+	shape := domain.MustShape(8, 8, 8)
+	subsets := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	res, err := DesignMarginals(shape, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy.Cols() != 512 {
+		t.Fatalf("cols = %d", res.Strategy.Cols())
+	}
+	// Error vs the closed-form bound computed from its own eigenvalues.
+	w := workload.MarginalSet("2way", shape, subsets)
+	e, err := mm.Error(w, res.Strategy, testPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := mm.LowerBoundFromEigenvalues(res.Eigenvalues, w.NumQueries(), testPrivacy)
+	if math.Abs(e/lb-1) > 1e-6 {
+		t.Fatalf("paper-scale marginal design off bound: %g vs %g", e, lb)
+	}
+}

@@ -1,0 +1,200 @@
+// Package dataset provides the data used by the paper's relative-error
+// experiments. The originals — five years of US Census microdata from
+// IPUMS aggregated on age × occupation × income (8×16×16, 15M tuples) and
+// the UCI Adult dataset weight-aggregated on age × work × education ×
+// income (8×8×16×2, 33K tuples) — are not redistributable here, so this
+// package generates seeded synthetic histograms with the same shapes,
+// totals, and qualitative skew (age pyramid, Zipfian occupations,
+// log-normal-style income, age/income correlation). Absolute workload
+// error is data-independent (Sec 5 of the paper), so only the
+// relative-error experiments touch this data, and for those the relevant
+// property is a realistically skewed histogram.
+package dataset
+
+import (
+	"math"
+
+	"adaptivemm/internal/domain"
+)
+
+// Dataset is a histogram over a cell domain.
+type Dataset struct {
+	Name  string
+	Shape domain.Shape
+	// X is the data vector: X[i] is the (possibly weighted) count of cell i.
+	X []float64
+	// Total is the sum of X.
+	Total float64
+}
+
+// CensusLike synthesizes the US-Census-style dataset: 8 age buckets × 16
+// occupation categories × 16 income brackets, 15M individuals.
+func CensusLike() *Dataset {
+	shape := domain.MustShape(8, 16, 16)
+	const total = 15_000_000
+
+	age := pyramid(8)          // population pyramid over age buckets
+	occ := zipf(16, 1.07)      // occupations follow a Zipf-like law
+	income := logNormalish(16) // incomes are right-skewed
+
+	probs := make([]float64, shape.Size())
+	var sum float64
+	coords := make([]int, 3)
+	for i := range probs {
+		c := shape.Coords(i)
+		copy(coords, c)
+		a, o, inc := coords[0], coords[1], coords[2]
+		p := age[a] * occ[o] * income[inc]
+		// Correlations: prime-age workers earn more; a few occupations are
+		// strongly tied to the top brackets.
+		p *= 1 + 0.6*incomeAgeAffinity(a, inc, 8, 16)
+		if o < 3 && inc >= 12 {
+			p *= 1.8
+		}
+		if o >= 13 && inc <= 3 {
+			p *= 1.5
+		}
+		probs[i] = p
+		sum += p
+	}
+	x := apportion(probs, sum, total)
+	return &Dataset{Name: "US Census (synthetic)", Shape: shape, X: x, Total: total}
+}
+
+// AdultLike synthesizes the Adult-style dataset: 8 age × 8 work class × 16
+// education × 2 income, 33K tuples, weight-aggregated so cells hold
+// non-integral weighted counts.
+func AdultLike() *Dataset {
+	shape := domain.MustShape(8, 8, 16, 2)
+	const tuples = 33_000
+
+	age := pyramid(8)
+	work := zipf(8, 1.2)
+	edu := logNormalish(16)
+	probs := make([]float64, shape.Size())
+	var sum float64
+	for i := range probs {
+		c := shape.Coords(i)
+		a, w, e, inc := c[0], c[1], c[2], c[3]
+		p := age[a] * work[w] * edu[e]
+		// High income (inc=1) is the rare class, strongly tied to education
+		// and prime age.
+		if inc == 1 {
+			p *= 0.15 * (1 + 2.5*float64(e)/15) * (1 + incomeAgeAffinity(a, e, 8, 16))
+		} else {
+			p *= 0.85
+		}
+		probs[i] = p
+		sum += p
+	}
+	counts := apportion(probs, sum, tuples)
+	// Weight-aggregate: deterministic per-cell weight factors around 1
+	// emulate survey weights.
+	x := make([]float64, len(counts))
+	var total float64
+	for i, c := range counts {
+		w := 0.75 + 0.5*hash01(i)
+		x[i] = c * w
+		total += x[i]
+	}
+	return &Dataset{Name: "Adult (synthetic)", Shape: shape, X: x, Total: total}
+}
+
+// pyramid returns a normalized population-pyramid distribution: mass rises
+// to the second bucket then decays.
+func pyramid(n int) []float64 {
+	p := make([]float64, n)
+	var sum float64
+	for i := range p {
+		x := float64(i) / float64(n-1)
+		p[i] = math.Exp(-3 * (x - 0.25) * (x - 0.25) / 0.3)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// zipf returns a normalized Zipf(s) distribution over n ranks.
+func zipf(n int, s float64) []float64 {
+	p := make([]float64, n)
+	var sum float64
+	for i := range p {
+		p[i] = 1 / math.Pow(float64(i+1), s)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// logNormalish returns a right-skewed distribution over n buckets shaped
+// like a discretized log-normal.
+func logNormalish(n int) []float64 {
+	p := make([]float64, n)
+	var sum float64
+	const mu, sd = 1.1, 0.7
+	for i := range p {
+		x := math.Log(float64(i) + 1.5)
+		p[i] = math.Exp(-(x-mu)*(x-mu)/(2*sd*sd)) / (float64(i) + 1.5)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// incomeAgeAffinity gives a bump when the bucket positions of age and the
+// second attribute co-vary (prime-age ↔ upper-middle values).
+func incomeAgeAffinity(a, b, na, nb int) float64 {
+	x := float64(a)/float64(na-1) - 0.45
+	y := float64(b)/float64(nb-1) - 0.55
+	return math.Exp(-(x*x + y*y) / 0.18)
+}
+
+// apportion converts unnormalized probabilities into integral counts
+// summing exactly to total, using largest-remainder rounding (deterministic
+// — no RNG, so dataset construction is reproducible by construction).
+func apportion(probs []float64, sum float64, total int) []float64 {
+	x := make([]float64, len(probs))
+	type frac struct {
+		i int
+		f float64
+	}
+	rem := total
+	fracs := make([]frac, len(probs))
+	for i, p := range probs {
+		exact := float64(total) * p / sum
+		fl := math.Floor(exact)
+		x[i] = fl
+		rem -= int(fl)
+		fracs[i] = frac{i, exact - fl}
+	}
+	// Selection of the rem largest fractional parts (simple partial sort —
+	// len(probs) is at most a few thousand).
+	for k := 0; k < rem; k++ {
+		best := -1
+		bestF := -1.0
+		for j := range fracs {
+			if fracs[j].f > bestF {
+				bestF = fracs[j].f
+				best = j
+			}
+		}
+		x[fracs[best].i]++
+		fracs[best].f = -2
+	}
+	return x
+}
+
+// hash01 maps an integer to a deterministic pseudo-random value in [0,1).
+func hash01(i int) float64 {
+	h := uint64(i)*0x9e3779b97f4a7c15 + 0x123456789abcdef
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h%1_000_000) / 1_000_000
+}

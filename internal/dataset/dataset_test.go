@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/strategy"
+	"adaptivemm/internal/workload"
+)
+
+func TestCensusLikeShapeAndTotal(t *testing.T) {
+	d := CensusLike()
+	if d.Shape.Size() != 2048 {
+		t.Fatalf("cells = %d, want 2048 (8x16x16)", d.Shape.Size())
+	}
+	var sum float64
+	for _, v := range d.X {
+		if v < 0 {
+			t.Fatal("negative cell count")
+		}
+		sum += v
+	}
+	if math.Abs(sum-15_000_000) > 0.5 {
+		t.Fatalf("total = %g, want 15M", sum)
+	}
+	if math.Abs(sum-d.Total) > 0.5 {
+		t.Fatalf("Total field %g inconsistent with data %g", d.Total, sum)
+	}
+}
+
+func TestAdultLikeShapeAndWeights(t *testing.T) {
+	d := AdultLike()
+	if d.Shape.Size() != 2048 {
+		t.Fatalf("cells = %d, want 2048 (8x8x16x2)", d.Shape.Size())
+	}
+	if len(d.Shape) != 4 {
+		t.Fatalf("dims = %d, want 4", len(d.Shape))
+	}
+	// Weighted counts: non-integral cells must exist.
+	nonIntegral := 0
+	var sum float64
+	for _, v := range d.X {
+		if v < 0 {
+			t.Fatal("negative weighted count")
+		}
+		if v != math.Trunc(v) {
+			nonIntegral++
+		}
+		sum += v
+	}
+	if nonIntegral == 0 {
+		t.Fatal("no weighted (non-integral) cells")
+	}
+	if math.Abs(sum-d.Total) > 1e-6*d.Total {
+		t.Fatalf("Total %g inconsistent with sum %g", d.Total, sum)
+	}
+	// Weights average ≈ 1, so total near 33K.
+	if sum < 25_000 || sum > 42_000 {
+		t.Fatalf("weighted total %g implausible for 33K tuples", sum)
+	}
+}
+
+func TestDatasetsAreSkewed(t *testing.T) {
+	// The relative-error experiments rely on realistic skew: the top 10% of
+	// cells should hold well over half the mass.
+	for _, d := range []*Dataset{CensusLike(), AdultLike()} {
+		sorted := append([]float64(nil), d.X...)
+		// Simple selection of top decile mass.
+		var total float64
+		for _, v := range sorted {
+			total += v
+		}
+		k := len(sorted) / 10
+		top := topSum(sorted, k)
+		if top/total < 0.5 {
+			t.Fatalf("%s: top decile holds only %.0f%%", d.Name, 100*top/total)
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, b := CensusLike(), CensusLike()
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("CensusLike not deterministic")
+		}
+	}
+}
+
+func TestIncomeAgeCorrelationPresent(t *testing.T) {
+	// Marginal independence would make P(high income | prime age) equal to
+	// P(high income | young); the synthetic census must correlate them.
+	d := CensusLike()
+	// age bucket 0 (young) vs 3-4 (prime); income >= 12 is "high".
+	highYoung, young, highPrime, prime := 0.0, 0.0, 0.0, 0.0
+	for i, v := range d.X {
+		c := d.Shape.Coords(i)
+		age, inc := c[0], c[2]
+		switch {
+		case age == 0:
+			young += v
+			if inc >= 12 {
+				highYoung += v
+			}
+		case age == 3 || age == 4:
+			prime += v
+			if inc >= 12 {
+				highPrime += v
+			}
+		}
+	}
+	if highPrime/prime <= highYoung/young {
+		t.Fatal("no age-income correlation in synthetic census")
+	}
+}
+
+func TestRelativeErrorSmokeAndOrdering(t *testing.T) {
+	// On a small projected workload, a better strategy must yield lower
+	// relative error. Use the marginal workload on the adult-like data.
+	d := AdultLike()
+	w := workload.Marginals(d.Shape, 1)
+	p := mm.Privacy{Epsilon: 1.0, Delta: 1e-4}
+	r := rand.New(rand.NewSource(1))
+	opts := RelativeErrorOptions{Trials: 3}
+
+	idErr, err := RelativeError(d, w, strategy.Identity(d.Shape).A, p, opts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idErr <= 0 || math.IsNaN(idErr) {
+		t.Fatalf("relative error = %g", idErr)
+	}
+	// More noise (smaller ε) must hurt.
+	r2 := rand.New(rand.NewSource(1))
+	worse, err := RelativeError(d, w, strategy.Identity(d.Shape).A,
+		mm.Privacy{Epsilon: 0.1, Delta: 1e-4}, opts, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse <= idErr {
+		t.Fatalf("ε=0.1 error %g not worse than ε=1 error %g", worse, idErr)
+	}
+}
+
+func TestRelativeErrorValidatesShape(t *testing.T) {
+	d := AdultLike()
+	w := workload.Prefix(8)
+	r := rand.New(rand.NewSource(2))
+	if _, err := RelativeError(d, w, strategy.Identity(w.Shape()).A,
+		mm.Privacy{Epsilon: 1, Delta: 1e-4}, RelativeErrorOptions{}, r); err == nil {
+		t.Fatal("accepted mismatched shapes")
+	}
+}
+
+func topSum(v []float64, k int) float64 {
+	// Partial selection: repeatedly take the max (k is small in tests).
+	taken := make([]bool, len(v))
+	var sum float64
+	for i := 0; i < k; i++ {
+		best, bi := -1.0, -1
+		for j, x := range v {
+			if !taken[j] && x > best {
+				best, bi = x, j
+			}
+		}
+		taken[bi] = true
+		sum += best
+	}
+	return sum
+}

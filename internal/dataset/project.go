@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"fmt"
+
+	"adaptivemm/internal/domain"
+)
+
+// Project marginalizes the dataset onto the given attribute subset (in the
+// given order), summing out the remaining attributes. It is used to run the
+// relative-error experiments at reduced scale without losing the data's
+// skew: a marginal of a skewed histogram is still skewed.
+func (d *Dataset) Project(dims []int) (*Dataset, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("dataset: empty projection")
+	}
+	seen := make(map[int]bool, len(dims))
+	newDims := make([]int, len(dims))
+	for i, a := range dims {
+		if a < 0 || a >= len(d.Shape) {
+			return nil, fmt.Errorf("dataset: projection dim %d out of range for %v", a, d.Shape)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("dataset: duplicate projection dim %d", a)
+		}
+		seen[a] = true
+		newDims[i] = d.Shape[a]
+	}
+	shape := domain.MustShape(newDims...)
+	x := make([]float64, shape.Size())
+	coords := make([]int, len(dims))
+	for i, v := range d.X {
+		if v == 0 {
+			continue
+		}
+		c := d.Shape.Coords(i)
+		for j, a := range dims {
+			coords[j] = c[a]
+		}
+		x[shape.Index(coords)] += v
+	}
+	return &Dataset{
+		Name:  fmt.Sprintf("%s projected %v", d.Name, dims),
+		Shape: shape,
+		X:     x,
+		Total: d.Total,
+	}, nil
+}

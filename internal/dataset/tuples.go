@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivemm/internal/domain"
+)
+
+// Bucketizer maps one attribute of a raw tuple to its bucket index,
+// defining the cell conditions φ of Definition 1 for that attribute: the
+// buckets must partition the attribute's domain (every value maps to
+// exactly one bucket, which the function contract guarantees).
+type Bucketizer func(value float64) int
+
+// RangeBuckets returns a Bucketizer over the given ascending cut points:
+// bucket i covers [cuts[i], cuts[i+1]), with the first bucket open below
+// and the last open above, yielding len(cuts)+1 buckets.
+func RangeBuckets(cuts ...float64) (Bucketizer, int) {
+	sorted := append([]float64(nil), cuts...)
+	sort.Float64s(sorted)
+	return func(v float64) int {
+		// First cut point strictly greater than v.
+		lo, hi := 0, len(sorted)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if v < sorted[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}, len(sorted) + 1
+}
+
+// CategoryBuckets returns a Bucketizer for a categorical attribute with n
+// known categories; values outside [0,n) are clamped into the last bucket
+// (an "other" category).
+func CategoryBuckets(n int) (Bucketizer, int) {
+	return func(v float64) int {
+		i := int(v)
+		if i < 0 || i >= n {
+			return n - 1
+		}
+		return i
+	}, n
+}
+
+// Schema bundles one Bucketizer per attribute, defining the full data
+// vector of Definition 1 over the cross product of the bucketings.
+type Schema struct {
+	shape   domain.Shape
+	buckets []Bucketizer
+}
+
+// NewSchema builds a schema from per-attribute bucketizers and their
+// bucket counts (as returned by RangeBuckets / CategoryBuckets).
+func NewSchema(bucketizers []Bucketizer, counts []int) (*Schema, error) {
+	if len(bucketizers) != len(counts) {
+		return nil, fmt.Errorf("dataset: %d bucketizers for %d counts", len(bucketizers), len(counts))
+	}
+	shape, err := domain.NewShape(counts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{shape: shape, buckets: bucketizers}, nil
+}
+
+// Shape returns the cell domain induced by the schema.
+func (s *Schema) Shape() domain.Shape { return s.shape }
+
+// Cell returns the flat cell index of a tuple (one value per attribute).
+func (s *Schema) Cell(tuple []float64) (int, error) {
+	if len(tuple) != len(s.buckets) {
+		return 0, fmt.Errorf("dataset: tuple has %d attributes, schema expects %d", len(tuple), len(s.buckets))
+	}
+	coords := make([]int, len(tuple))
+	for i, v := range tuple {
+		b := s.buckets[i](v)
+		if b < 0 || b >= s.shape[i] {
+			return 0, fmt.Errorf("dataset: bucketizer %d returned %d outside [0,%d)", i, b, s.shape[i])
+		}
+		coords[i] = b
+	}
+	return s.shape.Index(coords), nil
+}
+
+// FromTuples builds the data vector x of Definition 1: xᵢ counts the
+// tuples falling in cell i. Weights, when non-nil, must parallel tuples
+// and produce a weighted histogram (as in the Adult experiments).
+func FromTuples(name string, s *Schema, tuples [][]float64, weights []float64) (*Dataset, error) {
+	if weights != nil && len(weights) != len(tuples) {
+		return nil, fmt.Errorf("dataset: %d weights for %d tuples", len(weights), len(tuples))
+	}
+	x := make([]float64, s.shape.Size())
+	var total float64
+	for i, tup := range tuples {
+		cell, err := s.Cell(tup)
+		if err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+			if w < 0 {
+				return nil, fmt.Errorf("dataset: negative weight %g for tuple %d", w, i)
+			}
+		}
+		x[cell] += w
+		total += w
+	}
+	return &Dataset{Name: name, Shape: s.shape.Clone(), X: x, Total: total}, nil
+}

@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeBuckets(t *testing.T) {
+	b, n := RangeBuckets(2.0, 3.0, 3.5)
+	if n != 4 {
+		t.Fatalf("buckets = %d, want 4", n)
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{1.0, 0}, {1.99, 0}, {2.0, 1}, {2.9, 1}, {3.0, 2}, {3.4, 2}, {3.5, 3}, {4.0, 3},
+	}
+	for _, c := range cases {
+		if got := b(c.v); got != c.want {
+			t.Fatalf("bucket(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRangeBucketsPartition(t *testing.T) {
+	// Every value maps to exactly one bucket in range (property test).
+	b, n := RangeBuckets(0, 10, 20, 30)
+	f := func(v float64) bool {
+		i := b(v)
+		return i >= 0 && i < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoryBuckets(t *testing.T) {
+	b, n := CategoryBuckets(4)
+	if n != 4 {
+		t.Fatalf("n = %d", n)
+	}
+	if b(2) != 2 || b(0) != 0 {
+		t.Fatal("category mapping wrong")
+	}
+	// Out-of-range values clamp to the last bucket.
+	if b(-1) != 3 || b(99) != 3 {
+		t.Fatal("clamping wrong")
+	}
+}
+
+func TestSchemaAndFromTuples(t *testing.T) {
+	// Recreate the paper's Fig 1 cells: gender (2 categories) × gpa ranges
+	// [1,2), [2,3), [3,3.5), [3.5,4].
+	gender, gn := CategoryBuckets(2)
+	gpa, pn := RangeBuckets(2.0, 3.0, 3.5)
+	s, err := NewSchema([]Bucketizer{gender, gpa}, []int{gn, pn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shape().Size() != 8 {
+		t.Fatalf("cells = %d, want 8", s.Shape().Size())
+	}
+	tuples := [][]float64{
+		{0, 1.5}, {0, 1.7}, // male, gpa [1,2)
+		{0, 3.2},           // male, gpa [3,3.5)
+		{1, 3.9}, {1, 3.6}, // female, gpa [3.5,4]
+	}
+	d, err := FromTuples("students", s, tuples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total != 5 {
+		t.Fatalf("total = %g", d.Total)
+	}
+	if d.X[0] != 2 { // male × gpa bucket 0
+		t.Fatalf("x[0] = %g, want 2", d.X[0])
+	}
+	if d.X[2] != 1 { // male × gpa bucket 2
+		t.Fatalf("x[2] = %g, want 1", d.X[2])
+	}
+	if d.X[4+3] != 2 { // female × gpa bucket 3
+		t.Fatalf("x[7] = %g, want 2", d.X[7])
+	}
+}
+
+func TestFromTuplesWeighted(t *testing.T) {
+	cat, n := CategoryBuckets(3)
+	s, err := NewSchema([]Bucketizer{cat}, []int{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromTuples("w", s, [][]float64{{0}, {0}, {2}}, []float64{1.5, 0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.X[0] != 2 || d.X[2] != 2 || d.Total != 4 {
+		t.Fatalf("weighted histogram = %v (total %g)", d.X, d.Total)
+	}
+}
+
+func TestFromTuplesErrors(t *testing.T) {
+	cat, n := CategoryBuckets(2)
+	s, err := NewSchema([]Bucketizer{cat}, []int{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTuples("e", s, [][]float64{{0, 1}}, nil); err == nil {
+		t.Fatal("accepted wrong arity tuple")
+	}
+	if _, err := FromTuples("e", s, [][]float64{{0}}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted mismatched weights")
+	}
+	if _, err := FromTuples("e", s, [][]float64{{0}}, []float64{-1}); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+	if _, err := NewSchema([]Bucketizer{cat}, []int{n, n}); err == nil {
+		t.Fatal("accepted mismatched schema")
+	}
+}
+
+func TestFromTuplesTotalMatchesCount(t *testing.T) {
+	// Property: unweighted histogram total equals tuple count, regardless
+	// of values.
+	cat, cn := CategoryBuckets(4)
+	rng, rn := RangeBuckets(0, 1, 2)
+	s, err := NewSchema([]Bucketizer{cat, rng}, []int{cn, rn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nT := r.Intn(50)
+		tuples := make([][]float64, nT)
+		for i := range tuples {
+			tuples[i] = []float64{float64(r.Intn(6) - 1), r.NormFloat64() * 2}
+		}
+		d, err := FromTuples("p", s, tuples, nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d.Total-float64(nT)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectBasics(t *testing.T) {
+	d := AdultLike()
+	pr, err := d.Project([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Shape.Size() != 16 {
+		t.Fatalf("projected cells = %d", pr.Shape.Size())
+	}
+	var sum float64
+	for _, v := range pr.X {
+		sum += v
+	}
+	var orig float64
+	for _, v := range d.X {
+		orig += v
+	}
+	if math.Abs(sum-orig) > 1e-6*orig {
+		t.Fatal("projection lost mass")
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	d := AdultLike()
+	if _, err := d.Project(nil); err == nil {
+		t.Fatal("accepted empty projection")
+	}
+	if _, err := d.Project([]int{9}); err == nil {
+		t.Fatal("accepted out-of-range dim")
+	}
+	if _, err := d.Project([]int{0, 0}); err == nil {
+		t.Fatal("accepted duplicate dim")
+	}
+}
+
+func TestProjectReorders(t *testing.T) {
+	// Projection respects the order of dims: project (0,1) vs (1,0) are
+	// transposes of each other.
+	d := CensusLike()
+	a, err := d.Project([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Project([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 16; j++ {
+			if a.X[i*16+j] != b.X[j*8+i] {
+				t.Fatal("projection order not respected")
+			}
+		}
+	}
+}

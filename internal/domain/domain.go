@@ -1,0 +1,154 @@
+// Package domain models the multi-dimensional cell domains over which
+// workloads of linear counting queries are defined (Sec 2.1 of the paper).
+// A data vector x has one cell per element of the cross product of the
+// per-attribute bucketings; Shape records the number of buckets per
+// attribute and provides the flat-index ↔ coordinate maps used by every
+// workload and strategy builder.
+package domain
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape is the list of bucket counts, one per attribute. For example the
+// paper's US Census domain is Shape{8, 16, 16} (age × occupation × income)
+// with 2048 cells.
+type Shape []int
+
+// NewShape validates and returns a shape. Every dimension must be positive.
+func NewShape(dims ...int) (Shape, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("domain: empty shape")
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("domain: dimension %d has non-positive size %d", i, d)
+		}
+	}
+	return Shape(append([]int(nil), dims...)), nil
+}
+
+// MustShape is NewShape that panics on error; for use with constant shapes
+// in tests and examples.
+func MustShape(dims ...int) Shape {
+	s, err := NewShape(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Size returns the total number of cells (the product of the dimensions).
+func (s Shape) Size() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Dims returns the number of attributes.
+func (s Shape) Dims() int { return len(s) }
+
+// Strides returns the row-major strides: cell index = Σ coords[i]*strides[i].
+func (s Shape) Strides() []int {
+	st := make([]int, len(s))
+	acc := 1
+	for i := len(s) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= s[i]
+	}
+	return st
+}
+
+// Index converts multi-dimensional coordinates to a flat cell index.
+// It panics if coords has the wrong length or is out of range.
+func (s Shape) Index(coords []int) int {
+	if len(coords) != len(s) {
+		panic(fmt.Sprintf("domain: %d coords for %d dims", len(coords), len(s)))
+	}
+	idx := 0
+	for i, c := range coords {
+		if c < 0 || c >= s[i] {
+			panic(fmt.Sprintf("domain: coord %d = %d out of [0,%d)", i, c, s[i]))
+		}
+		idx = idx*s[i] + c
+	}
+	return idx
+}
+
+// Coords converts a flat cell index to multi-dimensional coordinates.
+// It panics if idx is out of range.
+func (s Shape) Coords(idx int) []int {
+	if idx < 0 || idx >= s.Size() {
+		panic(fmt.Sprintf("domain: index %d out of [0,%d)", idx, s.Size()))
+	}
+	coords := make([]int, len(s))
+	for i := len(s) - 1; i >= 0; i-- {
+		coords[i] = idx % s[i]
+		idx /= s[i]
+	}
+	return coords
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape { return append(Shape(nil), s...) }
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the shape in the paper's bracket notation, e.g. [8·16·16].
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "[" + strings.Join(parts, "·") + "]"
+}
+
+// Range is a half-open multi-dimensional box [Lo[i], Hi[i]] (inclusive on
+// both ends, following the paper's range-query convention).
+type Range struct {
+	Lo, Hi []int
+}
+
+// NumRanges returns the number of axis-aligned ranges Π dᵢ(dᵢ+1)/2, i.e.
+// the row count of the all-range workload.
+func (s Shape) NumRanges() int {
+	n := 1
+	for _, d := range s {
+		n *= d * (d + 1) / 2
+	}
+	return n
+}
+
+// Contains reports whether the cell with the given flat index lies in r.
+func (r Range) Contains(s Shape, idx int) bool {
+	coords := s.Coords(idx)
+	for i, c := range coords {
+		if c < r.Lo[i] || c > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CellCount returns the number of cells covered by r.
+func (r Range) CellCount() int {
+	n := 1
+	for i := range r.Lo {
+		n *= r.Hi[i] - r.Lo[i] + 1
+	}
+	return n
+}

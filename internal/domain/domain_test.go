@@ -1,0 +1,164 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeValidation(t *testing.T) {
+	if _, err := NewShape(); err == nil {
+		t.Fatal("empty shape accepted")
+	}
+	if _, err := NewShape(4, 0); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+	if _, err := NewShape(4, -1); err == nil {
+		t.Fatal("negative dimension accepted")
+	}
+	s, err := NewShape(8, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 2048 {
+		t.Fatalf("Size = %d, want 2048", s.Size())
+	}
+	if s.Dims() != 3 {
+		t.Fatalf("Dims = %d", s.Dims())
+	}
+}
+
+func TestMustShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustShape did not panic")
+		}
+	}()
+	MustShape(0)
+}
+
+func TestStrides(t *testing.T) {
+	s := MustShape(2, 3, 4)
+	st := s.Strides()
+	want := []int{12, 4, 1}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Fatalf("Strides = %v, want %v", st, want)
+		}
+	}
+}
+
+func TestIndexCoordsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := make([]int, 1+r.Intn(4))
+		for i := range dims {
+			dims[i] = 1 + r.Intn(6)
+		}
+		s := MustShape(dims...)
+		idx := r.Intn(s.Size())
+		return s.Index(s.Coords(idx)) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexMatchesStrides(t *testing.T) {
+	s := MustShape(3, 4, 5)
+	st := s.Strides()
+	for idx := 0; idx < s.Size(); idx++ {
+		c := s.Coords(idx)
+		sum := 0
+		for i := range c {
+			sum += c[i] * st[i]
+		}
+		if sum != idx {
+			t.Fatalf("strides disagree at %d: coords %v", idx, c)
+		}
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	s := MustShape(2, 2)
+	for _, bad := range [][]int{{0}, {2, 0}, {-1, 0}, {0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Index(%v) did not panic", bad)
+				}
+			}()
+			s.Index(bad)
+		}()
+	}
+}
+
+func TestCoordsPanics(t *testing.T) {
+	s := MustShape(2, 2)
+	for _, bad := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Coords(%d) did not panic", bad)
+				}
+			}()
+			s.Coords(bad)
+		}()
+	}
+}
+
+func TestShapeEqualAndClone(t *testing.T) {
+	a := MustShape(2, 3)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b[0] = 5
+	if a.Equal(b) || a[0] != 2 {
+		t.Fatal("clone aliases original")
+	}
+	if a.Equal(MustShape(2)) || a.Equal(MustShape(3, 2)) {
+		t.Fatal("Equal too permissive")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if s := MustShape(8, 16, 16).String(); s != "[8·16·16]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestNumRanges(t *testing.T) {
+	if got := MustShape(4).NumRanges(); got != 10 {
+		t.Fatalf("NumRanges [4] = %d, want 10", got)
+	}
+	if got := MustShape(2, 3).NumRanges(); got != 3*6 {
+		t.Fatalf("NumRanges [2,3] = %d, want 18", got)
+	}
+}
+
+func TestRangeContainsAndCellCount(t *testing.T) {
+	s := MustShape(4, 4)
+	r := Range{Lo: []int{1, 2}, Hi: []int{2, 3}}
+	if r.CellCount() != 4 {
+		t.Fatalf("CellCount = %d", r.CellCount())
+	}
+	inside := s.Index([]int{2, 3})
+	outside := s.Index([]int{0, 0})
+	if !r.Contains(s, inside) {
+		t.Fatal("Contains missed inside cell")
+	}
+	if r.Contains(s, outside) {
+		t.Fatal("Contains accepted outside cell")
+	}
+	// Count cells by brute force and compare.
+	count := 0
+	for idx := 0; idx < s.Size(); idx++ {
+		if r.Contains(s, idx) {
+			count++
+		}
+	}
+	if count != r.CellCount() {
+		t.Fatalf("brute force count %d != CellCount %d", count, r.CellCount())
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/workload"
+)
+
+// Ablation reports two design choices DESIGN.md calls out beyond the
+// paper's own figures: the interior-point vs first-order solver trade-off,
+// and the effect of the column-completion step (steps 4–5 of Program 2).
+func Ablation(cfg Config) ([]*Table, error) {
+	p := cfg.Privacy
+	n := scaleCells(cfg.Scale)
+
+	solver := &Table{
+		ID:     "ablation",
+		Title:  "Solver ablation: interior point vs first order",
+		Header: []string{"Workload", "Solver", "Workload error", "Time"},
+	}
+	workloads := []*workload.Workload{
+		workload.AllRange(domain.MustShape(n)),
+		workload.Prefix(n),
+	}
+	for _, w := range workloads {
+		for _, s := range []struct {
+			name   string
+			solver core.Solver
+		}{
+			{"barrier (Newton)", core.SolverBarrier},
+			{"first-order (Adam)", core.SolverFirstOrder},
+		} {
+			start := time.Now()
+			res, err := core.Design(w, core.Options{Solver: s.solver})
+			if err != nil {
+				return nil, err
+			}
+			d := time.Since(start)
+			e, err := mm.Error(w, res.Strategy, p)
+			if err != nil {
+				return nil, err
+			}
+			solver.Rows = append(solver.Rows, []string{w.Name(), s.name, fmtF(e), fmtDur(d)})
+		}
+	}
+	solver.Notes = append(solver.Notes, fmt.Sprintf("scale=%s (%d cells)", cfg.Scale, n))
+
+	completion := &Table{
+		ID:     "ablation",
+		Title:  "Column completion ablation (steps 4–5 of Program 2)",
+		Header: []string{"Workload", "With completion", "Without", "Improvement"},
+	}
+	for _, w := range []*workload.Workload{
+		workload.Fig1(),
+		workload.AllRange(domain.MustShape(n / 4)),
+		workload.Prefix(n / 4),
+	} {
+		with, _, err := designError(w, p, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		without, _, err := designError(w, p, core.Options{SkipCompletion: true})
+		if err != nil {
+			return nil, err
+		}
+		completion.Rows = append(completion.Rows, []string{
+			w.Name(), fmtF(with), fmtF(without), fmtRatio(without / with),
+		})
+	}
+	return []*Table{solver, completion}, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/strategy"
+	"adaptivemm/internal/workload"
+)
+
+// Table1 reports the dataset dimensions and sizes (the paper's Table 1).
+func Table1(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Dataset dimensions and sizes (synthetic stand-ins, see DESIGN.md)",
+		Header: []string{"Dataset", "Dimension", "# Tuples"},
+		Rows: [][]string{
+			{"US Census (synthetic)", "8×16×16", "15M"},
+			{"Adult (synthetic)", "8×8×16×2", "33K"},
+		},
+		Notes: []string{
+			"Original IPUMS/UCI data replaced by seeded synthetic histograms with matching shape, size and skew.",
+		},
+	}
+	return []*Table{t}, nil
+}
+
+// Example4 reproduces Example 4 / Fig 2: the error of answering the Fig 1
+// workload with the identity, wavelet and adaptively designed strategies,
+// against the optimal-error lower bound.
+func Example4(cfg Config) ([]*Table, error) {
+	w := workload.Fig1()
+	p := cfg.Privacy
+
+	idErr, err := strategyError(w, linalg.Identity(8), p)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's Fig 2 wavelet treats the 8 cells as one flat dimension.
+	wavErr, err := strategyError(w, strategy.Wavelet(domain.MustShape(8)).A, p)
+	if err != nil {
+		return nil, err
+	}
+	selfErr, err := strategyError(w, w.Matrix(), p)
+	if err != nil {
+		return nil, err
+	}
+	adaErr, _, err := designError(w, p, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	lb, err := mm.LowerBound(w, p)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "example4",
+		Title:  "Strategies for the Fig 1 workload (paper: 47.78 / 45.36 / 34.62 / 29.79 / ≥29.18)",
+		Header: []string{"Strategy", "Workload error", "vs lower bound"},
+		Rows: [][]string{
+			{"Workload itself", fmtF(selfErr), fmtRatio(selfErr / lb)},
+			{"Identity", fmtF(idErr), fmtRatio(idErr / lb)},
+			{"Wavelet", fmtF(wavErr), fmtRatio(wavErr / lb)},
+			{"Eigen-Design (adaptive)", fmtF(adaErr), fmtRatio(adaErr / lb)},
+			{"Lower bound (Thm 2)", fmtF(lb), "1.00x"},
+		},
+		Notes: []string{
+			"Absolute values differ from the paper by one global constant (choice of P(ε,δ) and per-query averaging); all ratios are comparable.",
+			"The Fig 1 workload has rank 4, so 'workload itself' uses least-squares inference over its row space (the paper's 47.78 idealizes it as full rank).",
+		},
+	}
+	return []*Table{t}, nil
+}

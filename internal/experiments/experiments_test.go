@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps experiment tests fast.
+var smallCfg = Config{Scale: "small", Seed: 1, Trials: 2}
+
+func TestIDsAndTitles(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 14 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Fatalf("no title for %s", id)
+		}
+	}
+	if Title("nope") != "" {
+		t.Fatal("title for unknown id")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", smallCfg); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// runOne asserts an experiment produces non-empty well-formed tables.
+func runOne(t *testing.T, id string) []*Table {
+	t.Helper()
+	tables, err := Run(id, smallCfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s: no tables", id)
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table %q", id, tb.Title)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("%s: row %v does not match header %v", id, row, tb.Header)
+			}
+		}
+	}
+	return tables
+}
+
+func TestTable1(t *testing.T) { runOne(t, "table1") }
+
+func TestExample4Shape(t *testing.T) {
+	tables := runOne(t, "example4")
+	rows := tables[0].Rows
+	// Ordered: self ≥ ... wavelet > eigen ≥ bound. Parse the error column.
+	errs := map[string]float64{}
+	for _, row := range rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad error cell %q", row[1])
+		}
+		errs[row[0]] = v
+	}
+	if !(errs["Eigen-Design (adaptive)"] < errs["Wavelet"] &&
+		errs["Wavelet"] < errs["Identity"]) {
+		t.Fatalf("example4 ordering broken: %v", errs)
+	}
+	if errs["Eigen-Design (adaptive)"] < errs["Lower bound (Thm 2)"]*(1-1e-9) {
+		t.Fatal("eigen below lower bound")
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	tables := runOne(t, "fig3a")
+	// Eigen must never exceed the best of wavelet/hierarchical, and the
+	// eigen/bound ratio must stay within the paper's 1.3.
+	for _, row := range tables[0].Rows {
+		hier := parse(t, row[2])
+		wav := parse(t, row[3])
+		eig := parse(t, row[4])
+		lb := parse(t, row[5])
+		best := hier
+		if wav < best {
+			best = wav
+		}
+		if eig > best*1.0001 {
+			t.Fatalf("eigen %g worse than best competitor %g in row %v", eig, best, row)
+		}
+		if eig/lb > 1.3 {
+			t.Fatalf("eigen/bound %g > 1.3 in row %v", eig/lb, row)
+		}
+	}
+}
+
+func TestFig3cShape(t *testing.T) {
+	tables := runOne(t, "fig3c")
+	for _, row := range tables[0].Rows {
+		four := parse(t, row[2])
+		dc := parse(t, row[3])
+		eig := parse(t, row[4])
+		lb := parse(t, row[5])
+		best := four
+		if dc < best {
+			best = dc
+		}
+		if eig > best*1.0001 {
+			t.Fatalf("eigen %g worse than best competitor %g in row %v", eig, best, row)
+		}
+		// Paper: eigen matches the bound on marginal workloads.
+		if eig/lb > 1.1 {
+			t.Fatalf("eigen/bound %g > 1.1 on marginals in row %v", eig/lb, row)
+		}
+	}
+}
+
+func TestFig3bRuns(t *testing.T) {
+	tables := runOne(t, "fig3b")
+	if len(tables) != 2 {
+		t.Fatalf("want 2 dataset tables, got %d", len(tables))
+	}
+	// Errors decrease as ε grows within each workload block (same strategy,
+	// less noise) — check first and last ε of the first workload.
+	for _, tb := range tables {
+		var lowEps, highEps float64
+		for _, row := range tb.Rows {
+			if row[0] != tb.Rows[0][0] {
+				continue
+			}
+			v := parse(t, row[4]) // eigen column
+			if row[1] == "0.5" {
+				lowEps = v
+			}
+			if row[1] == "2.5" {
+				highEps = v
+			}
+		}
+		if lowEps == 0 || highEps == 0 {
+			t.Fatalf("missing sweep rows in %q", tb.Title)
+		}
+		if highEps >= lowEps {
+			t.Fatalf("relative error did not fall with ε: %g → %g", lowEps, highEps)
+		}
+	}
+}
+
+func TestFig3dRuns(t *testing.T) {
+	tables := runOne(t, "fig3d")
+	if len(tables) != 2 {
+		t.Fatalf("want 2 dataset tables, got %d", len(tables))
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tables := runOne(t, "table2")
+	rows := tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("want 5 workload rows, got %d", len(rows))
+	}
+	for _, row := range rows {
+		best := parseRatio(t, row[2])
+		worst := parseRatio(t, row[3])
+		bound := parseRatio(t, row[4])
+		if worst < best {
+			t.Fatalf("worst ratio < best ratio in %v", row)
+		}
+		// Eigen should never lose to the best competitor by more than noise.
+		if best < 0.99 {
+			t.Fatalf("eigen lost to a competitor: %v", row)
+		}
+		if bound < 0.99 {
+			t.Fatalf("eigen below bound: %v", row)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tables := runOne(t, "fig4")
+	if len(tables) != 2 {
+		t.Fatalf("want 2 panels, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		sawSep, sawPV := false, false
+		for _, row := range tb.Rows {
+			switch row[0] {
+			case "Eigen separation":
+				sawSep = true
+			case "Principal vectors":
+				sawPV = true
+			}
+		}
+		if !sawSep || !sawPV {
+			t.Fatalf("panel %q missing optimization rows", tb.Title)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tables := runOne(t, "fig5")
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	// On the permuted range workload the eigen basis must beat the fixed
+	// bases clearly (Prop 5 / paper Fig 5).
+	for _, row := range rows {
+		if !strings.Contains(row[0], "permuted") || !strings.Contains(row[0], "Range") {
+			continue
+		}
+		wav := parse(t, row[1])
+		eig := parse(t, row[3])
+		if wav < eig*1.2 {
+			t.Fatalf("wavelet basis too good on permuted ranges: %v", row)
+		}
+	}
+}
+
+func TestSec35Shape(t *testing.T) {
+	tables := runOne(t, "sec35")
+	// Weighting an existing basis can only help (the plain basis is in the
+	// feasible set), so every improvement ratio must be ≥ ~1.
+	for _, row := range tables[0].Rows {
+		if parseRatio(t, row[4]) < 0.99 {
+			t.Fatalf("L1 weighting hurt in %v", row)
+		}
+	}
+}
+
+func TestSec41Shape(t *testing.T) {
+	tables := runOne(t, "sec41")
+	for _, row := range tables[0].Rows {
+		closed := parse(t, row[4])
+		lb := parse(t, row[6])
+		if closed < lb*(1-1e-9) || closed > lb*(1+1e-6) {
+			t.Fatalf("closed form %g != bound %g in %v", closed, lb, row)
+		}
+		generic := parse(t, row[2])
+		if generic < closed*(1-1e-3) {
+			t.Fatalf("generic beat provably optimal closed form: %v", row)
+		}
+	}
+}
+
+func TestOptStratShape(t *testing.T) {
+	tables := runOne(t, "optstrat")
+	for _, row := range tables[0].Rows {
+		lb := parse(t, row[1])
+		ref := parse(t, row[2])
+		eig := parse(t, row[3])
+		if ref < lb*(1-1e-6) {
+			t.Fatalf("refined optimum below the Thm 2 bound: %v", row)
+		}
+		if eig < ref*(1-1e-6) {
+			t.Fatalf("eigen below the refined optimum: %v", row)
+		}
+		// Paper: never witnessed a rate above 1.3x the optimum.
+		if eig/ref > 1.3 {
+			t.Fatalf("eigen/refined = %g > 1.3: %v", eig/ref, row)
+		}
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	tables := runOne(t, "ablation")
+	if len(tables) != 2 {
+		t.Fatalf("want 2 ablation tables, got %d", len(tables))
+	}
+	// Completion improvement ratios must be ≥ ~1.
+	for _, row := range tables[1].Rows {
+		if parseRatio(t, row[3]) < 0.99 {
+			t.Fatalf("completion hurt in %v", row)
+		}
+	}
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float cell %q", s)
+	}
+	return v
+}
+
+func parseRatio(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad ratio cell %q", s)
+	}
+	return v
+}

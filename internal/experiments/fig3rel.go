@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/dataset"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/strategy"
+	"adaptivemm/internal/workload"
+)
+
+// relDatasets returns the two evaluation datasets, projected down at
+// reduced scales so the Monte-Carlo relative-error loop stays fast while
+// preserving the data's skew.
+func relDatasets(scale string) ([]*dataset.Dataset, error) {
+	census := dataset.CensusLike()
+	adult := dataset.AdultLike()
+	if scale == "full" {
+		return []*dataset.Dataset{census, adult}, nil
+	}
+	dims := [][]int{{0, 1}, {0, 2, 3}}
+	if scale == "small" {
+		dims = [][]int{{0}, {0, 3}}
+	}
+	c, err := census.Project(dims[0])
+	if err != nil {
+		return nil, err
+	}
+	a, err := adult.Project(dims[1])
+	if err != nil {
+		return nil, err
+	}
+	return []*dataset.Dataset{c, a}, nil
+}
+
+// Fig3b regenerates Fig 3(b): average relative error of Hierarchical,
+// Wavelet and Eigen-Design on all-range and random-range workloads over the
+// two datasets, sweeping ε. Strategies are designed once per workload on
+// the row-normalized workload (the Sec 3.4 heuristic) and reused across ε.
+func Fig3b(cfg Config) ([]*Table, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	ds, err := relDatasets(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for _, d := range ds {
+		t := &Table{
+			ID:     "fig3b",
+			Title:  "Relative error on range workloads — " + d.Name,
+			Header: []string{"Workload", "ε", "Hierarchical", "Wavelet", "EigenDesign"},
+		}
+		allRange, sampled := rangeEvalWorkload(d.Shape, r)
+		workloads := []*workload.Workload{allRange, workload.RandomRange(d.Shape, d.Shape.Size(), r)}
+		labels := []string{"all range", "random range"}
+		if sampled {
+			t.Notes = append(t.Notes, "all-range relative error estimated on a 2000-query sample")
+		}
+		for wi, w := range workloads {
+			strategies, names, err := rangeStrategies(w, d)
+			if err != nil {
+				return nil, err
+			}
+			for _, eps := range epsSweep(cfg.Scale) {
+				p := mm.Privacy{Epsilon: eps, Delta: cfg.Privacy.Delta}
+				row := []string{labels[wi], fmt.Sprintf("%.1f", eps)}
+				for _, a := range strategies {
+					re, err := dataset.RelativeError(d, w, a, p,
+						dataset.RelativeErrorOptions{Trials: cfg.Trials}, r)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmtF(re))
+				}
+				_ = names
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("scale=%s; dataset %s (%s)", cfg.Scale, d.Name, d.Shape))
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// rangeStrategies builds the three compared strategies for a range
+// workload over the dataset's domain: Hierarchical, Wavelet, and the
+// eigen-strategy designed on the row-normalized workload (Sec 3.4).
+func rangeStrategies(w *workload.Workload, d *dataset.Dataset) ([]*linalg.Matrix, []string, error) {
+	norm := w.NormalizeRows()
+	eig, err := designStrategy(norm, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return []*linalg.Matrix{
+		strategy.Hierarchical(d.Shape, 2).A,
+		strategy.Wavelet(d.Shape).A,
+		eig,
+	}, []string{"Hierarchical", "Wavelet", "EigenDesign"}, nil
+}
+
+// Fig3d regenerates Fig 3(d): relative error of Fourier, DataCube and
+// Eigen-Design on marginal workloads over the two datasets.
+func Fig3d(cfg Config) ([]*Table, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	ds, err := relDatasets(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for _, d := range ds {
+		dims := d.Shape.Dims()
+		t := &Table{
+			ID:     "fig3d",
+			Title:  "Relative error on marginal workloads — " + d.Name,
+			Header: []string{"Workload", "ε", "Fourier", "DataCube", "EigenDesign"},
+		}
+		type entry struct {
+			label   string
+			w       *workload.Workload
+			subsets [][]int
+		}
+		var entries []entry
+		if dims >= 2 {
+			var pairs [][]int
+			for a := 0; a < dims; a++ {
+				for b := a + 1; b < dims; b++ {
+					pairs = append(pairs, []int{a, b})
+				}
+			}
+			entries = append(entries, entry{"2-way marginal", workload.Marginals(d.Shape, 2), pairs})
+		} else {
+			entries = append(entries, entry{"1-way marginal", workload.Marginals(d.Shape, 1), [][]int{{0}}})
+		}
+		rw, rs := workload.RandomMarginals(d.Shape, 2*dims, r)
+		entries = append(entries, entry{"random marginal", rw, rs})
+
+		for _, e := range entries {
+			norm := e.w.NormalizeRows()
+			eig, err := designStrategy(norm, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			strategies := []*linalg.Matrix{
+				strategy.Fourier(d.Shape, e.subsets).A,
+				strategy.DataCube(d.Shape, e.subsets).A,
+				eig,
+			}
+			for _, eps := range epsSweep(cfg.Scale) {
+				p := mm.Privacy{Epsilon: eps, Delta: cfg.Privacy.Delta}
+				row := []string{e.label, fmt.Sprintf("%.1f", eps)}
+				for _, a := range strategies {
+					re, err := dataset.RelativeError(d, e.w, a, p,
+						dataset.RelativeErrorOptions{Trials: cfg.Trials}, r)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmtF(re))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("scale=%s; dataset %s (%s)", cfg.Scale, d.Name, d.Shape))
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Format renders a table in the CLI's text layout: a header line, aligned
+// rows, and indented notes. Shared by cmd/ambench and tested directly.
+func (t *Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(tw, strings.Repeat("-", 8)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatGolden(t *testing.T) {
+	tb := &Table{
+		ID:     "demo",
+		Title:  "A demo table",
+		Header: []string{"Name", "Value"},
+		Rows: [][]string{
+			{"alpha", "1.5"},
+			{"beta", "2"},
+		},
+		Notes: []string{"first note"},
+	}
+	var sb strings.Builder
+	if err := tb.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// The separator line splits tabwriter's alignment blocks, so the header
+	// pads only to its own width.
+	want := "\n== demo: A demo table ==\n" +
+		"Name  Value\n" +
+		"--------\n" +
+		"alpha  1.5\n" +
+		"beta   2\n" +
+		"  note: first note\n"
+	if sb.String() != want {
+		t.Fatalf("Format output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestFormatEveryExperimentRenders(t *testing.T) {
+	// Formatting must succeed for every experiment's real output.
+	for _, id := range []string{"table1", "example4", "branching"} {
+		tables := runOne(t, id)
+		for _, tb := range tables {
+			var sb strings.Builder
+			if err := tb.Format(&sb); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if !strings.Contains(sb.String(), tb.ID) {
+				t.Fatalf("%s: output missing id", id)
+			}
+		}
+	}
+}
+
+func TestBranchingShape(t *testing.T) {
+	tables := runOne(t, "branching")
+	rows := tables[0].Rows
+	// Eigen must be the best non-bound row.
+	var eig, bestOther float64
+	for _, row := range rows {
+		v := parse(t, row[1])
+		switch {
+		case row[0] == "EigenDesign":
+			eig = v
+		case row[0] == "Lower bound":
+		default:
+			if bestOther == 0 || v < bestOther {
+				bestOther = v
+			}
+		}
+	}
+	if eig == 0 || bestOther == 0 {
+		t.Fatal("missing rows")
+	}
+	if eig > bestOther*(1+1e-9) {
+		t.Fatalf("a fixed tree beat the adaptive strategy: %g vs %g", bestOther, eig)
+	}
+}

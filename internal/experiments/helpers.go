@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"time"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/workload"
+)
+
+// rangeShapes returns the Fig 3(a) domain shapes for a scale. At full scale
+// these are the paper's five 2048-cell configurations; smaller scales keep
+// the same structure (1-D, 2-D, 3-D, 4-D, all-binary) on fewer cells.
+func rangeShapes(scale string) []domain.Shape {
+	switch scale {
+	case "small":
+		return []domain.Shape{
+			domain.MustShape(64),
+			domain.MustShape(16, 4),
+			domain.MustShape(4, 4, 4),
+			binaryShape(6),
+		}
+	case "full":
+		return []domain.Shape{
+			domain.MustShape(2048),
+			domain.MustShape(64, 32),
+			domain.MustShape(16, 16, 8),
+			domain.MustShape(8, 8, 8, 4),
+			binaryShape(11),
+		}
+	default: // medium
+		return []domain.Shape{
+			domain.MustShape(256),
+			domain.MustShape(32, 8),
+			domain.MustShape(8, 8, 4),
+			domain.MustShape(4, 4, 4, 4),
+			binaryShape(8),
+		}
+	}
+}
+
+// marginalShapes returns the Fig 3(c) shapes (multi-attribute only).
+func marginalShapes(scale string) []domain.Shape {
+	switch scale {
+	case "small":
+		return []domain.Shape{
+			domain.MustShape(4, 4, 2),
+			binaryShape(5),
+		}
+	case "full":
+		return []domain.Shape{
+			domain.MustShape(16, 16, 8),
+			domain.MustShape(8, 8, 8, 4),
+			binaryShape(11),
+		}
+	default:
+		return []domain.Shape{
+			domain.MustShape(8, 8, 4),
+			domain.MustShape(4, 4, 4, 2),
+			binaryShape(8),
+		}
+	}
+}
+
+// scaleCells returns the single-domain cell count used by Table 2 and the
+// 1-D experiments.
+func scaleCells(scale string) int {
+	switch scale {
+	case "small":
+		return 64
+	case "full":
+		return 2048
+	default:
+		return 256
+	}
+}
+
+// fig4Cells returns the domain size for the Fig 4 performance experiment
+// (the paper uses 8192).
+func fig4Cells(scale string) int {
+	switch scale {
+	case "small":
+		return 64
+	case "full":
+		return 8192
+	default:
+		return 512
+	}
+}
+
+func binaryShape(k int) domain.Shape {
+	dims := make([]int, k)
+	for i := range dims {
+		dims[i] = 2
+	}
+	return domain.MustShape(dims...)
+}
+
+// designError runs the Eigen-Design algorithm and reports the resulting
+// workload error along with the design wall time.
+func designError(w *workload.Workload, p mm.Privacy, o core.Options) (float64, time.Duration, error) {
+	start := time.Now()
+	res, err := core.Design(w, o)
+	if err != nil {
+		return 0, 0, err
+	}
+	dur := time.Since(start)
+	e, err := mm.Error(w, res.Strategy, p)
+	return e, dur, err
+}
+
+// strategyError evaluates a fixed strategy matrix, returning +Inf-like
+// failure as an error.
+func strategyError(w *workload.Workload, a *linalg.Matrix, p mm.Privacy) (float64, error) {
+	return mm.Error(w, a, p)
+}
+
+// designStrategy runs Design and returns the strategy matrix (for reuse
+// across privacy settings: strategy selection is privacy-independent).
+func designStrategy(w *workload.Workload, o core.Options) (*linalg.Matrix, error) {
+	res, err := core.Design(w, o)
+	if err != nil {
+		return nil, err
+	}
+	return res.Strategy, nil
+}
+
+// epsSweep is the ε axis of Figs 3(b,d).
+func epsSweep(scale string) []float64 {
+	if scale == "small" {
+		return []float64{0.5, 2.5}
+	}
+	return []float64{0.1, 0.5, 1.0, 2.5}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/opt"
+	"adaptivemm/internal/workload"
+)
+
+// OptStrat approximates the exact strategy selection problem (the paper's
+// Problem 1) on small workloads by polishing the Eigen-Design output with
+// projected gradient descent on the full strategy matrix. The paper solves
+// this exact (but O(n⁸)) program only at toy sizes to certify optimality —
+// e.g. Example 4's "no strategy can answer W with error less than 29.18".
+// This experiment reproduces such certificates: for each workload it
+// reports the Thm 2 bound, the refined near-exact optimum, and the
+// Eigen-Design error, locating the algorithm's true gap to optimal (which
+// is smaller than its gap to the not-always-achievable bound).
+func OptStrat(cfg Config) ([]*Table, error) {
+	p := cfg.Privacy
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	entries := []*workload.Workload{
+		workload.Fig1(),
+		workload.Prefix(16),
+		workload.AllRange(domain.MustShape(16)),
+		workload.RandomRange(domain.MustShape(16), 24, r),
+		workload.Predicate(domain.MustShape(16), 12, r),
+	}
+	t := &Table{
+		ID:     "optstrat",
+		Title:  "Near-exact optimal strategies on small workloads (Problem 1)",
+		Header: []string{"Workload", "Bound (Thm 2)", "Refined optimum", "EigenDesign", "Eigen/Refined", "Eigen/Bound"},
+	}
+	for _, w := range entries {
+		res, err := core.Design(w, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		eig, err := mm.Error(w, res.Strategy, p)
+		if err != nil {
+			return nil, err
+		}
+		refined, err := opt.RefineStrategy(w.Gram(), res.Strategy, opt.RefineOptions{Iterations: 800})
+		if err != nil {
+			return nil, err
+		}
+		ref, err := mm.Error(w, refined, p)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := mm.LowerBound(w, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			w.Name(), fmtF(lb), fmtF(ref), fmtF(eig),
+			fmtRatio(eig / ref), fmtRatio(eig / lb),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("seed=%d; refinement initialized at the eigen-strategy (convex in AᵀA, so the refined point approximates the global optimum)", cfg.Seed),
+		"paper Example 4: eigen 29.79 vs exact optimum 29.18 (ratio 1.021)",
+	)
+	return []*Table{t}, nil
+}

@@ -1,0 +1,80 @@
+package linalg
+
+import (
+	"sort"
+)
+
+// KronEigen composes the eigendecomposition of a Kronecker product
+// G₁ ⊗ G₂ ⊗ … from the decompositions of its factors: the eigenvalues are
+// all products of per-factor eigenvalues and the eigenvectors the
+// corresponding Kronecker products of per-factor eigenvectors. For a
+// product workload on [64·32] this replaces one O(2048³) decomposition
+// with O(64³ + 32³) ones — the trick that makes the paper's full-scale
+// multi-dimensional experiments fast.
+//
+// The result is sorted by descending eigenvalue like SymEigen.
+func KronEigen(factors ...*EigenSym) *EigenSym {
+	if len(factors) == 0 {
+		return &EigenSym{Values: []float64{1}, Vectors: NewFromRows([][]float64{{1}})}
+	}
+	n := 1
+	for _, f := range factors {
+		n *= len(f.Values)
+	}
+	// Enumerate all index combinations with their eigenvalue products.
+	type pair struct {
+		val float64
+		idx []int
+	}
+	pairs := make([]pair, 0, n)
+	idx := make([]int, len(factors))
+	for {
+		v := 1.0
+		for fi, f := range factors {
+			v *= f.Values[idx[fi]]
+		}
+		pairs = append(pairs, pair{v, append([]int(nil), idx...)})
+		// Odometer.
+		k := len(factors) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(factors[k].Values) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].val > pairs[b].val })
+
+	values := make([]float64, n)
+	vectors := New(n, n)
+	for r, pr := range pairs {
+		values[r] = pr.val
+		row := vectors.Row(r)
+		kronRowInto(row, factors, pr.idx)
+	}
+	return &EigenSym{Values: values, Vectors: vectors}
+}
+
+// kronRowInto writes the Kronecker product of the selected factor
+// eigenvectors into dst.
+func kronRowInto(dst []float64, factors []*EigenSym, idx []int) {
+	dst[0] = 1
+	length := 1
+	for fi, f := range factors {
+		vec := f.Vectors.Row(idx[fi])
+		fl := len(vec)
+		// Expand dst[:length] by vec.
+		for i := length - 1; i >= 0; i-- {
+			base := dst[i]
+			for j := fl - 1; j >= 0; j-- {
+				dst[i*fl+j] = base * vec[j]
+			}
+		}
+		length *= fl
+	}
+}

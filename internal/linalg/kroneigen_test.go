@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKronEigenMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randSPD(r, 2+r.Intn(3))
+		b := randSPD(r, 2+r.Intn(3))
+		ea, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		eb, err := SymEigen(b)
+		if err != nil {
+			return false
+		}
+		kron := KronEigen(ea, eb)
+		dense, err := SymEigen(Kronecker(a, b))
+		if err != nil {
+			return false
+		}
+		// Same spectrum.
+		for i := range kron.Values {
+			if math.Abs(kron.Values[i]-dense.Values[i]) > 1e-7*(1+math.Abs(dense.Values[i])) {
+				return false
+			}
+		}
+		// Reconstruction matches the Kronecker Gram.
+		return kron.Reconstruct().Equal(Kronecker(a, b), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKronEigenOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randSPD(r, 3)
+	b := randSPD(r, 4)
+	ea, _ := SymEigen(a)
+	eb, _ := SymEigen(b)
+	k := KronEigen(ea, eb)
+	if !k.Vectors.Mul(k.Vectors.T()).Equal(Identity(12), 1e-9) {
+		t.Fatal("Kron eigenvectors not orthonormal")
+	}
+}
+
+func TestKronEigenSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	a := randSPD(r, 4)
+	b := randSPD(r, 3)
+	ea, _ := SymEigen(a)
+	eb, _ := SymEigen(b)
+	k := KronEigen(ea, eb)
+	for i := 1; i < len(k.Values); i++ {
+		if k.Values[i] > k.Values[i-1]+1e-12 {
+			t.Fatalf("values not descending: %v", k.Values)
+		}
+	}
+}
+
+func TestKronEigenThreeFactors(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	mats := []*Matrix{randSPD(r, 2), randSPD(r, 3), randSPD(r, 2)}
+	parts := make([]*EigenSym, 3)
+	for i, m := range mats {
+		eg, err := SymEigen(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = eg
+	}
+	k := KronEigen(parts...)
+	want := Kronecker(Kronecker(mats[0], mats[1]), mats[2])
+	if !k.Reconstruct().Equal(want, 1e-8) {
+		t.Fatal("3-factor KronEigen reconstruction failed")
+	}
+}
+
+func TestKronEigenNoFactors(t *testing.T) {
+	k := KronEigen()
+	if len(k.Values) != 1 || k.Values[0] != 1 {
+		t.Fatalf("empty KronEigen = %v", k.Values)
+	}
+}

@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate flop count above which row-blocked
+// operations fan out across cores. Small problems stay single-threaded to
+// avoid goroutine overhead.
+const parallelThreshold = 1 << 22
+
+// ParallelRows splits [0,n) into contiguous blocks, one per worker, and
+// runs f on each block concurrently. Each block writes disjoint output
+// rows, so results are deterministic. With work ≤ parallelThreshold (or a
+// single CPU) it runs inline.
+func ParallelRows(n int, work int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || work <= parallelThreshold || n < 2*workers {
+		f(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	block := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulParallel is Mul with row-blocked parallelism; results are identical.
+func (m *Matrix) MulParallel(other *Matrix) *Matrix {
+	if m.cols != other.rows {
+		panic("linalg: MulParallel shape mismatch")
+	}
+	out := New(m.rows, other.cols)
+	work := m.rows * m.cols * other.cols
+	ParallelRows(m.rows, work, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mrow := m.Row(i)
+			orow := out.Row(i)
+			for k, a := range mrow {
+				if a == 0 {
+					continue
+				}
+				brow := other.Row(k)
+				for j, b := range brow {
+					orow[j] += a * b
+				}
+			}
+		}
+	})
+	return out
+}
+
+// GramParallel is Gram with parallelism over output rows; results are
+// identical to Gram.
+func (m *Matrix) GramParallel() *Matrix {
+	n := m.cols
+	out := New(n, n)
+	work := m.rows * n * n / 2
+	ParallelRows(n, work, func(lo, hi int) {
+		// Compute output rows [lo,hi) of the upper triangle: entry (a,b)
+		// with b >= a needs Σ_i m[i][a]·m[i][b].
+		for i := 0; i < m.rows; i++ {
+			row := m.Row(i)
+			for a := lo; a < hi; a++ {
+				va := row[a]
+				if va == 0 {
+					continue
+				}
+				orow := out.Row(a)
+				for b := a; b < n; b++ {
+					orow[b] += va * row[b]
+				}
+			}
+		}
+	})
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			out.data[b*n+a] = out.data[a*n+b]
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulParallelMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randMatrix(r, 1+r.Intn(20), 1+r.Intn(20))
+		b := randMatrix(r, a.Cols(), 1+r.Intn(20))
+		return a.Mul(b).Equal(a.MulParallel(b), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulParallelLarge(t *testing.T) {
+	// Large enough to actually fan out.
+	r := rand.New(rand.NewSource(1))
+	a := randMatrix(r, 200, 180)
+	b := randMatrix(r, 180, 190)
+	if !a.Mul(b).Equal(a.MulParallel(b), 0) {
+		t.Fatal("parallel product differs")
+	}
+}
+
+func TestGramParallelMatchesGram(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randMatrix(r, 1+r.Intn(25), 1+r.Intn(25))
+		return a.Gram().Equal(a.GramParallel(), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramParallelLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randMatrix(r, 300, 250)
+	if !a.Gram().Equal(a.GramParallel(), 0) {
+		t.Fatal("parallel gram differs")
+	}
+}
+
+func TestParallelRowsCoversAll(t *testing.T) {
+	seen := make([]bool, 1000)
+	ParallelRows(1000, 1<<30, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i] = true
+		}
+	})
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("row %d not covered", i)
+		}
+	}
+}
+
+func TestParallelRowsSmallInline(t *testing.T) {
+	calls := 0
+	ParallelRows(4, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 4 {
+			t.Fatalf("expected single inline block, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func BenchmarkMulSerial256(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randMatrix(r, 256, 256)
+	y := randMatrix(r, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}
+
+func BenchmarkMulParallel256(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randMatrix(r, 256, 256)
+	y := randMatrix(r, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MulParallel(y)
+	}
+}

@@ -1,0 +1,107 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivemm/internal/linalg"
+)
+
+// refineErr evaluates the scale-invariant strategy error proxy
+// (max col norm² = 1 after normalization, so just the trace term).
+func refineErr(t *testing.T, g, a *linalg.Matrix) float64 {
+	t.Helper()
+	obj, ok := refineObjective(g, normalizeCols(a))
+	if !ok {
+		t.Fatal("strategy does not support workload")
+	}
+	return obj
+}
+
+func TestRefineImprovesIdentityOnPrefix(t *testing.T) {
+	// The CDF/prefix Gram: identity is far from optimal; refinement must
+	// find something substantially better.
+	n := 8
+	w := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			w.Set(i, j, 1)
+		}
+	}
+	g := w.Gram()
+	id := linalg.Identity(n)
+	before := refineErr(t, g, id)
+	refined, err := RefineStrategy(g, id, RefineOptions{Iterations: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := refineErr(t, g, refined)
+	if after > before*0.9 {
+		t.Fatalf("refinement too weak: %g -> %g", before, after)
+	}
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + r.Intn(4)
+		wm := linalg.New(n+2, n)
+		for i := 0; i < wm.Rows(); i++ {
+			for j := 0; j < n; j++ {
+				wm.Set(i, j, r.NormFloat64())
+			}
+		}
+		g := wm.Gram()
+		a0 := linalg.Identity(n)
+		before := refineErr(t, g, a0)
+		refined, err := RefineStrategy(g, a0, RefineOptions{Iterations: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := refineErr(t, g, refined)
+		if after > before*(1+1e-9) {
+			t.Fatalf("refinement worsened: %g -> %g", before, after)
+		}
+	}
+}
+
+func TestRefineRespectsSensitivity(t *testing.T) {
+	n := 6
+	w := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			w.Set(i, j, 1)
+		}
+	}
+	refined, err := RefineStrategy(w.Gram(), linalg.Identity(n), RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := refined.MaxColNorm2(); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("sensitivity = %g, want 1", s)
+	}
+}
+
+func TestRefineDimensionMismatch(t *testing.T) {
+	g := linalg.Identity(4)
+	if _, err := RefineStrategy(g, linalg.Identity(3), RefineOptions{}); err == nil {
+		t.Fatal("accepted mismatched dimensions")
+	}
+}
+
+func TestNormalizeCols(t *testing.T) {
+	a := linalg.NewFromRows([][]float64{{3, 0.1}, {4, 0}})
+	out := normalizeCols(a)
+	norms := out.ColNorms2()
+	if math.Abs(norms[0]-1) > 1e-12 {
+		t.Fatalf("big column norm² = %g", norms[0])
+	}
+	if norms[1] > 1+1e-12 {
+		t.Fatalf("small column norm² = %g", norms[1])
+	}
+	// Max column norm is exactly 1.
+	if math.Abs(out.MaxColNorm2()-1) > 1e-12 {
+		t.Fatal("max column norm != 1")
+	}
+}

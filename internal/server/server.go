@@ -1,0 +1,265 @@
+// Package server implements a small HTTP service for batch query
+// answering under (ε,δ)-differential privacy — the paper's deployment
+// setting: analysts submit a workload once, the server designs a strategy,
+// and each release against a dataset consumes privacy budget tracked by a
+// per-dataset ledger (sequential composition).
+//
+// Endpoints (JSON):
+//
+//	POST /design    {"workload": "allrange:8x16"} or {"rows": [[...]], "shape": [8,16]}
+//	                → {"strategy": id, "expectedError": ..., "lowerBound": ...}
+//	POST /answer    {"strategy": id, "dataset": name, "histogram": [...],
+//	                 "epsilon": 0.5, "delta": 1e-4, "seed": 7}
+//	                → {"answers": [...], "ledger": {"epsilon": ..., "delta": ...}}
+//	GET  /ledger    → {"<dataset>": {"epsilon": ..., "delta": ...}, ...}
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/wio"
+	"adaptivemm/internal/workload"
+)
+
+// Server holds designed strategies and the per-dataset privacy ledger.
+type Server struct {
+	mu         sync.Mutex
+	nextID     int
+	strategies map[string]*entry
+	ledger     map[string]Budget
+	seedSalt   int64
+}
+
+type entry struct {
+	w    *workload.Workload
+	mech *mm.Mechanism
+}
+
+// Budget is cumulative privacy spend under basic sequential composition.
+type Budget struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{
+		strategies: map[string]*entry{},
+		ledger:     map[string]Budget{},
+	}
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/design", s.handleDesign)
+	mux.HandleFunc("/answer", s.handleAnswer)
+	mux.HandleFunc("/ledger", s.handleLedger)
+	return mux
+}
+
+type designRequest struct {
+	// Workload is a compact spec like "allrange:8x16" (see wio).
+	Workload string `json:"workload,omitempty"`
+	// Rows + Shape provide an explicit query matrix instead.
+	Rows  [][]float64 `json:"rows,omitempty"`
+	Shape []int       `json:"shape,omitempty"`
+	// Seed drives randomized workload specs.
+	Seed int64 `json:"seed,omitempty"`
+	// Epsilon/Delta are used only to report the expected error.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+}
+
+type designResponse struct {
+	Strategy      string  `json:"strategy"`
+	Queries       int     `json:"queries"`
+	Cells         int     `json:"cells"`
+	ExpectedError float64 `json:"expectedError"`
+	LowerBound    float64 `json:"lowerBound"`
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req designRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	wl, err := s.buildWorkload(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := core.Design(wl, core.Options{})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "design failed: %v", err)
+		return
+	}
+	mech, err := mm.NewMechanism(res.Strategy)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "mechanism: %v", err)
+		return
+	}
+	p := mm.Privacy{Epsilon: req.Epsilon, Delta: req.Delta}
+	if p.Epsilon == 0 {
+		p = mm.Privacy{Epsilon: 0.5, Delta: 1e-4}
+	}
+	expected, err := mm.Error(wl, res.Strategy, p)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "error analysis: %v", err)
+		return
+	}
+	lb := mm.LowerBoundFromEigenvalues(res.Eigenvalues, wl.NumQueries(), p)
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.strategies[id] = &entry{w: wl, mech: mech}
+	s.mu.Unlock()
+
+	writeJSON(w, designResponse{
+		Strategy:      id,
+		Queries:       wl.NumQueries(),
+		Cells:         wl.Cells(),
+		ExpectedError: expected,
+		LowerBound:    lb,
+	})
+}
+
+func (s *Server) buildWorkload(req *designRequest) (*workload.Workload, error) {
+	switch {
+	case req.Workload != "" && req.Rows != nil:
+		return nil, fmt.Errorf("provide either workload or rows, not both")
+	case req.Workload != "":
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return wio.ParseWorkloadSpec(req.Workload, rand.New(rand.NewSource(seed)))
+	case req.Rows != nil:
+		if len(req.Shape) == 0 {
+			return nil, fmt.Errorf("rows require a shape")
+		}
+		shape, err := domain.NewShape(req.Shape...)
+		if err != nil {
+			return nil, err
+		}
+		if len(req.Rows) == 0 || len(req.Rows[0]) != shape.Size() {
+			return nil, fmt.Errorf("rows must be non-empty with %d columns", shape.Size())
+		}
+		return workload.FromMatrix("custom", shape, linalg.NewFromRows(req.Rows)), nil
+	default:
+		return nil, fmt.Errorf("empty design request")
+	}
+}
+
+type answerRequest struct {
+	Strategy  string    `json:"strategy"`
+	Dataset   string    `json:"dataset"`
+	Histogram []float64 `json:"histogram"`
+	Epsilon   float64   `json:"epsilon"`
+	Delta     float64   `json:"delta"`
+	Seed      int64     `json:"seed,omitempty"`
+}
+
+type answerResponse struct {
+	Answers []float64 `json:"answers"`
+	Ledger  Budget    `json:"ledger"`
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req answerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Dataset == "" {
+		httpError(w, http.StatusBadRequest, "dataset name required for budget accounting")
+		return
+	}
+	p := mm.Privacy{Epsilon: req.Epsilon, Delta: req.Delta}
+	if err := p.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	ent, ok := s.strategies[req.Strategy]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown strategy %q", req.Strategy)
+		return
+	}
+	if !ent.w.Explicit() {
+		httpError(w, http.StatusUnprocessableEntity, "workload too large to answer explicitly; request Estimate-style releases instead")
+		return
+	}
+	if len(req.Histogram) != ent.w.Cells() {
+		httpError(w, http.StatusBadRequest, "histogram has %d cells, workload expects %d", len(req.Histogram), ent.w.Cells())
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		s.mu.Lock()
+		s.seedSalt++
+		seed = s.seedSalt + 0x5eed
+		s.mu.Unlock()
+	}
+	ans, err := ent.mech.AnswerGaussian(ent.w, req.Histogram, p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	// Charge the ledger only after a successful release.
+	s.mu.Lock()
+	b := s.ledger[req.Dataset]
+	b.Epsilon += p.Epsilon
+	b.Delta += p.Delta
+	s.ledger[req.Dataset] = b
+	s.mu.Unlock()
+
+	writeJSON(w, answerResponse{Answers: ans, Ledger: b})
+}
+
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	out := make(map[string]Budget, len(s.ledger))
+	for k, v := range s.ledger {
+		out[k] = v
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestDesignAndAnswerFlow(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/design", map[string]any{"workload": "marginals:1:4x4"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("design status %d: %s", resp.StatusCode, body)
+	}
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy == "" || d.Queries != 8 || d.Cells != 16 {
+		t.Fatalf("design response %+v", d)
+	}
+	// Marginal workloads sit exactly on the bound; allow float round-off.
+	if d.ExpectedError < d.LowerBound*(1-1e-6) {
+		t.Fatalf("expected error below bound: %+v", d)
+	}
+
+	hist := make([]float64, 16)
+	for i := range hist {
+		hist[i] = float64(i + 1)
+	}
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "db1", "histogram": hist,
+		"epsilon": 0.5, "delta": 1e-4, "seed": 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer status %d: %s", resp.StatusCode, body)
+	}
+	var a answerResponse
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Answers) != 8 {
+		t.Fatalf("answers = %d", len(a.Answers))
+	}
+	if a.Ledger.Epsilon != 0.5 || a.Ledger.Delta != 1e-4 {
+		t.Fatalf("ledger %+v", a.Ledger)
+	}
+
+	// A second release accumulates budget.
+	_, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "db1", "histogram": hist,
+		"epsilon": 0.25, "delta": 1e-4, "seed": 4,
+	})
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Ledger.Epsilon != 0.75 {
+		t.Fatalf("ledger after second release %+v", a.Ledger)
+	}
+
+	// Ledger endpoint reflects the spend.
+	resp, err := http.Get(ts.URL + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ledger map[string]Budget
+	if err := json.NewDecoder(resp.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	if ledger["db1"].Epsilon != 0.75 {
+		t.Fatalf("ledger endpoint %+v", ledger)
+	}
+}
+
+func TestDesignWithExplicitRows(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, body := post(t, ts, "/design", map[string]any{
+		"rows":  [][]float64{{1, 1, 0, 0}, {0, 0, 1, 1}},
+		"shape": []int{4},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Queries != 2 || d.Cells != 4 {
+		t.Fatalf("design %+v", d)
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	cases := []map[string]any{
+		{},
+		{"workload": "bogus:4"},
+		{"workload": "fig1", "rows": [][]float64{{1}}},
+		{"rows": [][]float64{{1, 2}}},                    // no shape
+		{"rows": [][]float64{{1, 2}}, "shape": []int{4}}, // wrong width
+		{"rows": [][]float64{}, "shape": []int{2}},       // empty
+	}
+	for i, c := range cases {
+		resp, _ := post(t, ts, "/design", c)
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAnswerValidation(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, body := post(t, ts, "/design", map[string]any{"workload": "prefix:4"})
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	cases := []map[string]any{
+		{"strategy": "nope", "dataset": "d", "histogram": []float64{1, 2, 3, 4}, "epsilon": 1, "delta": 1e-4},
+		{"strategy": d.Strategy, "histogram": []float64{1, 2, 3, 4}, "epsilon": 1, "delta": 1e-4}, // no dataset
+		{"strategy": d.Strategy, "dataset": "d", "histogram": []float64{1}, "epsilon": 1, "delta": 1e-4},
+		{"strategy": d.Strategy, "dataset": "d", "histogram": []float64{1, 2, 3, 4}, "epsilon": 0, "delta": 1e-4},
+	}
+	for i, c := range cases {
+		resp, _ := post(t, ts, "/answer", c)
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	// Failed releases must not charge the ledger.
+	resp, err := http.Get(ts.URL + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ledger map[string]Budget
+	if err := json.NewDecoder(resp.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger) != 0 {
+		t.Fatalf("ledger charged on failures: %+v", ledger)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/design")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /design status %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/ledger", map[string]any{})
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /ledger status %d", resp.StatusCode)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	_, body := post(t, ts, "/design", map[string]any{"workload": "identity:4"})
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	req := map[string]any{
+		"strategy": d.Strategy, "dataset": "d", "histogram": []float64{1, 2, 3, 4},
+		"epsilon": 1, "delta": 1e-4, "seed": 42,
+	}
+	var a1, a2 answerResponse
+	_, b1 := post(t, ts, "/answer", req)
+	_, b2 := post(t, ts, "/answer", req)
+	if err := json.Unmarshal(b1, &a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b2, &a2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.Answers {
+		if a1.Answers[i] != a2.Answers[i] {
+			t.Fatal("same seed produced different answers")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package strategy
+
+import (
+	"sort"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/workload"
+)
+
+// DataCube implements the BMAX algorithm of Ding et al. [7] adapted to
+// (ε,δ)-differential privacy: choose a subset M of marginals to answer with
+// the Gaussian mechanism so that the maximum error of deriving each
+// requested marginal is minimized.
+//
+// Under L2 sensitivity, answering |M| marginals costs sensitivity² = |M|
+// (each tuple contributes one count per chosen marginal), and deriving a
+// requested marginal S from a chosen superset marginal T accumulates the
+// noise of Π_{i∈T\S} dᵢ cells. BMAX therefore minimizes
+//
+//	|M| · max_S min_{T ∈ M, T ⊇ S} Π_{i∈T\S} dᵢ.
+//
+// As in the original paper this is solved approximately: for each candidate
+// error threshold E (a distinct derivation cost), a greedy set cover finds
+// a small M whose members cover every requested marginal within cost E,
+// and the best |M|·E product wins. Requested marginals are identified by
+// attribute subsets.
+func DataCube(shape domain.Shape, requested [][]int) *Strategy {
+	dims := len(shape)
+	reqMasks := uniqueMasks(requested)
+	if len(reqMasks) == 0 {
+		return &Strategy{Name: "DataCube", A: workload.MarginalMatrix(shape, nil)}
+	}
+
+	// All candidate marginals (subsets of dims).
+	candidates := make([]uint64, 0, 1<<dims)
+	for m := uint64(0); m < 1<<dims; m++ {
+		candidates = append(candidates, m)
+	}
+
+	// Derivation cost of answering S from T (T ⊇ S required).
+	cost := func(s, t uint64) (float64, bool) {
+		if s&^t != 0 {
+			return 0, false
+		}
+		c := 1.0
+		for b := 0; b < dims; b++ {
+			if t&(1<<b) != 0 && s&(1<<b) == 0 {
+				c *= float64(shape[b])
+			}
+		}
+		return c, true
+	}
+
+	// Distinct achievable thresholds.
+	thresholdSet := map[float64]bool{}
+	for _, s := range reqMasks {
+		for _, t := range candidates {
+			if c, ok := cost(s, t); ok {
+				thresholdSet[c] = true
+			}
+		}
+	}
+	thresholds := make([]float64, 0, len(thresholdSet))
+	for c := range thresholdSet {
+		thresholds = append(thresholds, c)
+	}
+	sort.Float64s(thresholds)
+
+	bestObj := 0.0
+	var bestSel []uint64
+	for _, e := range thresholds {
+		sel := greedyCover(reqMasks, candidates, func(s, t uint64) bool {
+			c, ok := cost(s, t)
+			return ok && c <= e
+		})
+		if sel == nil {
+			continue
+		}
+		obj := float64(len(sel)) * e
+		if bestSel == nil || obj < bestObj {
+			bestObj, bestSel = obj, sel
+		}
+	}
+
+	mats := make([]*linalg.Matrix, len(bestSel))
+	for i, m := range bestSel {
+		mats[i] = workload.MarginalMatrix(shape, maskToSubset(m, dims))
+	}
+	return &Strategy{Name: "DataCube", A: linalg.StackRows(mats...)}
+}
+
+// greedyCover selects candidates covering all requested masks, largest
+// coverage first. Returns nil if coverage is impossible under covers.
+func greedyCover(req, candidates []uint64, covers func(s, t uint64) bool) []uint64 {
+	remaining := map[uint64]bool{}
+	for _, s := range req {
+		remaining[s] = true
+	}
+	var sel []uint64
+	for len(remaining) > 0 {
+		bestGain := 0
+		var bestT uint64
+		for _, t := range candidates {
+			gain := 0
+			for s := range remaining {
+				if covers(s, t) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestT = gain, t
+			}
+		}
+		if bestGain == 0 {
+			return nil
+		}
+		sel = append(sel, bestT)
+		for s := range remaining {
+			if covers(s, bestT) {
+				delete(remaining, s)
+			}
+		}
+	}
+	return sel
+}
+
+func uniqueMasks(subsets [][]int) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, s := range subsets {
+		var m uint64
+		for _, a := range s {
+			m |= 1 << a
+		}
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func maskToSubset(m uint64, dims int) []int {
+	var s []int
+	for b := 0; b < dims; b++ {
+		if m&(1<<b) != 0 {
+			s = append(s, b)
+		}
+	}
+	return s
+}

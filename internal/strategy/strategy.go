@@ -1,0 +1,292 @@
+// Package strategy implements the strategy matrices the paper compares
+// against (Sec 5 "Competing Approaches"), each adapted to (ε,δ)-differential
+// privacy / L2 sensitivity exactly as described there:
+//
+//   - Identity: noisy cell counts.
+//   - Wavelet: the Haar wavelet strategy of Xiao et al. [21]. The hybrid
+//     optimization for small dimensions is unnecessary under L2 and omitted,
+//     as in the paper.
+//   - Hierarchical: the b-ary tree strategy of Hay et al. [13], extended to
+//     multiple dimensions by Kronecker product, analogous to Wavelet.
+//   - Fourier: the orthonormal marginal basis of Barak et al. [4], keeping
+//     only the basis queries needed for the requested marginals.
+//   - DataCube: the BMAX marginal-subset selection of Ding et al. [7] with
+//     sensitivity measured under L2.
+//
+// A strategy is just a named query matrix; the matrix mechanism machinery
+// lives in package mm.
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+)
+
+// Strategy is a named strategy matrix for the matrix mechanism.
+type Strategy struct {
+	Name string
+	A    *linalg.Matrix
+}
+
+// Identity returns the identity strategy over the shape.
+func Identity(shape domain.Shape) *Strategy {
+	return &Strategy{Name: "Identity", A: linalg.Identity(shape.Size())}
+}
+
+// Wavelet returns the (unnormalized) Haar wavelet strategy over the shape,
+// the Kronecker product of per-dimension 1-D Haar matrices. Dimensions that
+// are not powers of two use the next power of two with the excess columns
+// truncated (and rows that become all zero dropped), preserving full rank.
+func Wavelet(shape domain.Shape) *Strategy {
+	parts := make([]*linalg.Matrix, len(shape))
+	for i, d := range shape {
+		parts[i] = haar1D(d)
+	}
+	return &Strategy{Name: "Wavelet", A: dropZeroRows(linalg.KroneckerAll(parts...))}
+}
+
+// haar1D builds the 1-D Haar matrix for a domain of size d: the matrix for
+// the next power of two p ≥ d, keeping the first d columns.
+func haar1D(d int) *linalg.Matrix {
+	p := 1
+	for p < d {
+		p *= 2
+	}
+	full := haarPow2(p)
+	if p == d {
+		return full
+	}
+	out := linalg.New(p, d)
+	for i := 0; i < p; i++ {
+		copy(out.Row(i), full.Row(i)[:d])
+	}
+	return dropZeroRows(out)
+}
+
+// haarPow2 builds the p x p unnormalized Haar matrix (p a power of two):
+// the total row, then for each level the ±1 difference rows, exactly the
+// wavelet matrix of the paper's Fig. 2.
+func haarPow2(p int) *linalg.Matrix {
+	m := linalg.New(p, p)
+	for j := 0; j < p; j++ {
+		m.Set(0, j, 1)
+	}
+	r := 1
+	for block := p; block >= 2; block /= 2 {
+		for start := 0; start < p; start += block {
+			row := m.Row(r)
+			half := block / 2
+			for j := start; j < start+half; j++ {
+				row[j] = 1
+			}
+			for j := start + half; j < start+block; j++ {
+				row[j] = -1
+			}
+			r++
+		}
+	}
+	return m
+}
+
+// Hierarchical returns the b-ary hierarchical strategy of Hay et al.: the
+// total query plus recursive partitions of each node into (up to) branch
+// parts down to single cells, per dimension, combined across dimensions by
+// Kronecker product.
+func Hierarchical(shape domain.Shape, branch int) *Strategy {
+	if branch < 2 {
+		panic(fmt.Sprintf("strategy: branching factor %d < 2", branch))
+	}
+	parts := make([]*linalg.Matrix, len(shape))
+	for i, d := range shape {
+		parts[i] = hierarchical1D(d, branch)
+	}
+	return &Strategy{
+		Name: fmt.Sprintf("Hierarchical(b=%d)", branch),
+		A:    dropZeroRows(linalg.KroneckerAll(parts...)),
+	}
+}
+
+// hierarchical1D enumerates the tree nodes over [0,d) breadth-first.
+func hierarchical1D(d, branch int) *linalg.Matrix {
+	type node struct{ lo, hi int } // inclusive
+	var rows []node
+	queue := []node{{0, d - 1}}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		rows = append(rows, nd)
+		size := nd.hi - nd.lo + 1
+		if size <= 1 {
+			continue
+		}
+		// Split into up to branch nearly-equal contiguous parts.
+		parts := branch
+		if size < parts {
+			parts = size
+		}
+		base := size / parts
+		extra := size % parts
+		at := nd.lo
+		for p := 0; p < parts; p++ {
+			len := base
+			if p < extra {
+				len++
+			}
+			queue = append(queue, node{at, at + len - 1})
+			at += len
+		}
+	}
+	m := linalg.New(len(rows), d)
+	for i, nd := range rows {
+		row := m.Row(i)
+		for j := nd.lo; j <= nd.hi; j++ {
+			row[j] = 1
+		}
+	}
+	return m
+}
+
+// dropZeroRows removes rows that are identically zero.
+func dropZeroRows(m *linalg.Matrix) *linalg.Matrix {
+	var keep []int
+	for i := 0; i < m.Rows(); i++ {
+		for _, v := range m.Row(i) {
+			if v != 0 {
+				keep = append(keep, i)
+				break
+			}
+		}
+	}
+	if len(keep) == m.Rows() {
+		return m
+	}
+	out := linalg.New(len(keep), m.Cols())
+	for r, i := range keep {
+		copy(out.Row(r), m.Row(i))
+	}
+	return out
+}
+
+// Fourier returns Barak et al.'s strategy for a workload of marginals over
+// the given attribute subsets: the orthonormal tensor basis restricted to
+// the downward closure of the requested subsets (dropping unnecessary
+// basis queries reduces sensitivity, as the paper notes for the L2
+// adaptation). Per dimension the basis is the normalized constant vector
+// plus orthonormal Helmert contrasts, the real-valued analogue of the
+// binary-domain Fourier basis used by Barak.
+func Fourier(shape domain.Shape, requested [][]int) *Strategy {
+	closure := downwardClosure(len(shape), requested)
+	var mats []*linalg.Matrix
+	for _, s := range closure {
+		mats = append(mats, FourierBlock(shape, s))
+	}
+	return &Strategy{Name: "Fourier", A: linalg.StackRows(mats...)}
+}
+
+// FourierBlock returns the orthonormal basis block for one attribute
+// subset: the Kronecker product of Helmert contrasts on the subset's
+// dimensions and the normalized constant row on the others. The blocks
+// over all subsets together form an orthonormal basis of R^n, and each
+// block spans the part of the marginal on its subset that lower-order
+// marginals do not determine.
+func FourierBlock(shape domain.Shape, attrs []int) *linalg.Matrix {
+	inSet := make([]bool, len(shape))
+	for _, a := range attrs {
+		inSet[a] = true
+	}
+	parts := make([]*linalg.Matrix, len(shape))
+	for i, d := range shape {
+		if inSet[i] {
+			parts[i] = helmert(d)
+		} else {
+			parts[i] = constRow(d)
+		}
+	}
+	return linalg.KroneckerAll(parts...)
+}
+
+// helmert returns the (d-1) x d orthonormal Helmert contrast matrix: row k
+// has k ones, then -k, then zeros, normalized to unit length. Together with
+// the constant row it forms an orthonormal basis of R^d.
+func helmert(d int) *linalg.Matrix {
+	m := linalg.New(d-1, d)
+	for k := 1; k < d; k++ {
+		row := m.Row(k - 1)
+		norm := math.Sqrt(float64(k*k + k)) // sqrt(k·1² + k²)
+		for j := 0; j < k; j++ {
+			row[j] = 1 / norm
+		}
+		row[k] = -float64(k) / norm
+	}
+	return m
+}
+
+// constRow returns the 1 x d normalized constant row.
+func constRow(d int) *linalg.Matrix {
+	m := linalg.New(1, d)
+	v := 1 / math.Sqrt(float64(d))
+	for j := range m.Row(0) {
+		m.Row(0)[j] = v
+	}
+	return m
+}
+
+// downwardClosure returns every subset of {0..dims-1} contained in at least
+// one requested subset, sorted by size then lexicographically.
+func downwardClosure(dims int, requested [][]int) [][]int {
+	seen := map[uint64]bool{}
+	var addAll func(mask uint64)
+	addAll = func(mask uint64) {
+		if seen[mask] {
+			return
+		}
+		seen[mask] = true
+		for b := 0; b < dims; b++ {
+			if mask&(1<<b) != 0 {
+				addAll(mask &^ (1 << b))
+			}
+		}
+	}
+	for _, s := range requested {
+		var mask uint64
+		for _, a := range s {
+			mask |= 1 << a
+		}
+		addAll(mask)
+	}
+	masks := make([]uint64, 0, len(seen))
+	for m := range seen {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := popcount(masks[i]), popcount(masks[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return masks[i] < masks[j]
+	})
+	out := make([][]int, len(masks))
+	for i, m := range masks {
+		var s []int
+		for b := 0; b < dims; b++ {
+			if m&(1<<b) != 0 {
+				s = append(s, b)
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

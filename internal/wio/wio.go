@@ -1,0 +1,220 @@
+// Package wio provides the workload/data I/O used by the command-line
+// tools: CSV matrices, histogram vectors, domain-shape strings like
+// "8x16x16", and compact workload specifications such as "allrange:8x16"
+// or "marginals:2:8x8x4".
+package wio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/workload"
+)
+
+// ParseShape parses "8x16x16" (case-insensitive 'x') into a Shape.
+func ParseShape(s string) (domain.Shape, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("wio: bad shape %q: %v", s, err)
+		}
+		dims = append(dims, v)
+	}
+	return domain.NewShape(dims...)
+}
+
+// ReadMatrixCSV reads a dense matrix: one row per line, comma-separated
+// float64 values, blank lines and lines starting with '#' skipped.
+func ReadMatrixCSV(r io.Reader) (*linalg.Matrix, error) {
+	var rows [][]float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("wio: line %d field %d: %v", lineNo, i+1, err)
+			}
+			row[i] = v
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("wio: line %d has %d fields, want %d", lineNo, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("wio: empty matrix")
+	}
+	return linalg.NewFromRows(rows), nil
+}
+
+// WriteMatrixCSV writes a matrix in the format ReadMatrixCSV accepts.
+func WriteMatrixCSV(w io.Writer, m *linalg.Matrix) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVectorCSV reads a histogram: float64 values separated by commas
+// and/or newlines.
+func ReadVectorCSV(r io.Reader) ([]float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.FieldsFunc(string(data), func(c rune) bool {
+		return c == ',' || c == '\n' || c == '\r' || c == ' ' || c == '\t'
+	})
+	out := make([]float64, 0, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wio: value %d: %v", i+1, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("wio: empty vector")
+	}
+	return out, nil
+}
+
+// ParseWorkloadSpec builds a workload from a compact specification:
+//
+//	allrange:8x16          all range queries over the shape
+//	randomrange:100:8x16   100 sampled range queries
+//	marginals:2:8x8x4      all 2-way marginals
+//	rangemarginals:1:8x8x4 all 1-way range marginals
+//	prefix:256             the 1-D CDF workload
+//	identity:8x16          every cell count
+//	predicate:50:256       50 random predicate queries
+//	fig1                   the paper's running example
+//
+// Random specs use the provided source for reproducibility.
+func ParseWorkloadSpec(spec string, r *rand.Rand) (*workload.Workload, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	kind := strings.ToLower(parts[0])
+	arg := func(i int) (string, error) {
+		if i >= len(parts) {
+			return "", fmt.Errorf("wio: spec %q missing argument %d", spec, i)
+		}
+		return parts[i], nil
+	}
+	num := func(i int) (int, error) {
+		s, err := arg(i)
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("wio: spec %q argument %d must be a positive integer", spec, i)
+		}
+		return v, nil
+	}
+	shapeAt := func(i int) (domain.Shape, error) {
+		s, err := arg(i)
+		if err != nil {
+			return nil, err
+		}
+		return ParseShape(s)
+	}
+
+	switch kind {
+	case "allrange":
+		shape, err := shapeAt(1)
+		if err != nil {
+			return nil, err
+		}
+		return workload.AllRange(shape), nil
+	case "randomrange":
+		count, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		shape, err := shapeAt(2)
+		if err != nil {
+			return nil, err
+		}
+		return workload.RandomRange(shape, count, r), nil
+	case "marginals":
+		k, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		shape, err := shapeAt(2)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Marginals(shape, k), nil
+	case "rangemarginals":
+		k, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		shape, err := shapeAt(2)
+		if err != nil {
+			return nil, err
+		}
+		return workload.RangeMarginals(shape, k), nil
+	case "prefix":
+		n, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Prefix(n), nil
+	case "identity":
+		shape, err := shapeAt(1)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Identity(shape), nil
+	case "predicate":
+		count, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		shape, err := shapeAt(2)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Predicate(shape, count, r), nil
+	case "fig1":
+		return workload.Fig1(), nil
+	default:
+		return nil, fmt.Errorf("wio: unknown workload kind %q", kind)
+	}
+}

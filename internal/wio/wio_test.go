@@ -1,0 +1,124 @@
+package wio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseShape(t *testing.T) {
+	s, err := ParseShape("8x16x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 2048 || s.Dims() != 3 {
+		t.Fatalf("shape = %v", s)
+	}
+	for _, bad := range []string{"", "8x", "axb", "8x0", "8x-2"} {
+		if _, err := ParseShape(bad); err == nil {
+			t.Fatalf("ParseShape(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReadMatrixCSV(t *testing.T) {
+	in := "# comment\n1, 2, 3\n\n4,5,6\n"
+	m, err := ReadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 || m.At(1, 2) != 6 {
+		t.Fatalf("matrix = %v", m)
+	}
+}
+
+func TestReadMatrixCSVErrors(t *testing.T) {
+	cases := []string{
+		"",       // empty
+		"1,2\n3", // ragged
+		"1,x\n",  // bad float
+	}
+	for _, in := range cases {
+		if _, err := ReadMatrixCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestMatrixCSVRoundTrip(t *testing.T) {
+	in := "1,2.5,-3\n0,1e-9,42\n"
+	m, err := ReadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadMatrixCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(m2, 0) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestReadVectorCSV(t *testing.T) {
+	v, err := ReadVectorCSV(strings.NewReader("1, 2\n3 4\t5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 5 || v[4] != 5 {
+		t.Fatalf("vector = %v", v)
+	}
+	if _, err := ReadVectorCSV(strings.NewReader("")); err == nil {
+		t.Fatal("accepted empty vector")
+	}
+	if _, err := ReadVectorCSV(strings.NewReader("1,x")); err == nil {
+		t.Fatal("accepted bad float")
+	}
+}
+
+func TestParseWorkloadSpec(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cases := []struct {
+		spec  string
+		cells int
+		m     int // 0 = don't check
+	}{
+		{"allrange:4x4", 16, 100},
+		{"randomrange:10:8", 8, 10},
+		{"marginals:1:4x4", 16, 8},
+		{"rangemarginals:1:3x3", 9, 12},
+		{"prefix:16", 16, 16},
+		{"identity:4x2", 8, 8},
+		{"predicate:7:16", 16, 7},
+		{"fig1", 8, 8},
+	}
+	for _, c := range cases {
+		w, err := ParseWorkloadSpec(c.spec, r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if w.Cells() != c.cells {
+			t.Fatalf("%s: cells = %d, want %d", c.spec, w.Cells(), c.cells)
+		}
+		if c.m > 0 && w.NumQueries() != c.m {
+			t.Fatalf("%s: m = %d, want %d", c.spec, w.NumQueries(), c.m)
+		}
+	}
+}
+
+func TestParseWorkloadSpecErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, bad := range []string{
+		"", "unknown:4", "allrange", "allrange:bad",
+		"marginals:0:4x4", "randomrange:5", "prefix:-1",
+	} {
+		if _, err := ParseWorkloadSpec(bad, r); err == nil {
+			t.Fatalf("accepted spec %q", bad)
+		}
+	}
+}

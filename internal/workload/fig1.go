@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+)
+
+// Fig1 returns the running example of the paper's Fig. 1: 8 queries over
+// the 8 cells formed by gender (M/F) × four gpa ranges. Cell order follows
+// the paper: φ1..φ4 are the gpa buckets for gender=M, φ5..φ8 for gender=F.
+//
+//	q1: all students            q5: students with gpa ≥ 3.0
+//	q2: male students           q6: female students with gpa ≥ 3.0
+//	q3: female students         q7: male students with gpa < 3.0
+//	q4: students with gpa < 3.0 q8: male minus female students
+//
+// (The paper's figure labels q2 "female" and q3 "male"; the matrix itself
+// is what matters and is reproduced verbatim.)
+func Fig1() *Workload {
+	m := linalg.NewFromRows([][]float64{
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{1, 1, 1, 1, 0, 0, 0, 0},
+		{0, 0, 0, 0, 1, 1, 1, 1},
+		{1, 1, 0, 0, 1, 1, 0, 0},
+		{0, 0, 1, 1, 0, 0, 1, 1},
+		{0, 0, 0, 0, 0, 0, 1, 1},
+		{1, 1, 0, 0, 0, 0, 0, 0},
+		{1, 1, 1, 1, -1, -1, -1, -1},
+	})
+	return FromMatrix("Fig. 1 example", domain.MustShape(2, 4), m)
+}

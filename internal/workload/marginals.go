@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+)
+
+// MarginalMatrix returns the query matrix of the marginal over the
+// attribute subset attrs (e.g. attrs = {0,2} gives the 2-way marginal on
+// dimensions 0 and 2). It is the Kronecker product, over dimensions, of the
+// identity (for dimensions in attrs) and the all-ones row (for the rest).
+// The empty subset yields the total query.
+func MarginalMatrix(shape domain.Shape, attrs []int) *linalg.Matrix {
+	inSet := make([]bool, len(shape))
+	for _, a := range attrs {
+		if a < 0 || a >= len(shape) {
+			panic(fmt.Sprintf("workload: marginal attribute %d out of range for %v", a, shape))
+		}
+		inSet[a] = true
+	}
+	parts := make([]*linalg.Matrix, len(shape))
+	for i, d := range shape {
+		if inSet[i] {
+			parts[i] = linalg.Identity(d)
+		} else {
+			parts[i] = onesRow(d)
+		}
+	}
+	return linalg.KroneckerAll(parts...)
+}
+
+// rangeMarginalMatrix is like MarginalMatrix but asks all ranges (instead
+// of single values) on the margin attributes — the paper's k-way range
+// marginal queries, which avoid the noise accumulation of summing noisy
+// marginal cells.
+func rangeMarginalMatrix(shape domain.Shape, attrs []int) *linalg.Matrix {
+	inSet := make([]bool, len(shape))
+	for _, a := range attrs {
+		inSet[a] = true
+	}
+	parts := make([]*linalg.Matrix, len(shape))
+	for i, d := range shape {
+		if inSet[i] {
+			parts[i] = allRangeMatrix1D(d)
+		} else {
+			parts[i] = onesRow(d)
+		}
+	}
+	return linalg.KroneckerAll(parts...)
+}
+
+// Marginals returns the workload of all k-way marginals for the given k.
+func Marginals(shape domain.Shape, k int) *Workload {
+	subsets := subsetsOfSize(len(shape), k)
+	if len(subsets) == 0 {
+		panic(fmt.Sprintf("workload: no %d-way marginals on %d dims", k, len(shape)))
+	}
+	mats := make([]*linalg.Matrix, len(subsets))
+	for i, s := range subsets {
+		mats[i] = MarginalMatrix(shape, s)
+	}
+	return FromMatrix(fmt.Sprintf("%d-way marginal %s", k, shape), shape, linalg.StackRows(mats...))
+}
+
+// MarginalSet returns the workload consisting of the marginals for the
+// given attribute subsets.
+func MarginalSet(name string, shape domain.Shape, subsets [][]int) *Workload {
+	mats := make([]*linalg.Matrix, len(subsets))
+	for i, s := range subsets {
+		mats[i] = MarginalMatrix(shape, s)
+	}
+	return FromMatrix(name, shape, linalg.StackRows(mats...))
+}
+
+// RangeMarginals returns the workload of all k-way range marginals.
+func RangeMarginals(shape domain.Shape, k int) *Workload {
+	subsets := subsetsOfSize(len(shape), k)
+	if len(subsets) == 0 {
+		panic(fmt.Sprintf("workload: no %d-way range marginals on %d dims", k, len(shape)))
+	}
+	mats := make([]*linalg.Matrix, len(subsets))
+	for i, s := range subsets {
+		mats[i] = rangeMarginalMatrix(shape, s)
+	}
+	return FromMatrix(fmt.Sprintf("%d-way range marginal %s", k, shape), shape, linalg.StackRows(mats...))
+}
+
+// AllMarginals returns the union of k-way marginals for every k from 0
+// (the total) to Dims (the identity).
+func AllMarginals(shape domain.Shape) *Workload {
+	var mats []*linalg.Matrix
+	for k := 0; k <= len(shape); k++ {
+		for _, s := range subsetsOfSize(len(shape), k) {
+			mats = append(mats, MarginalMatrix(shape, s))
+		}
+	}
+	return FromMatrix("all marginal "+shape.String(), shape, linalg.StackRows(mats...))
+}
+
+// RandomMarginals samples count attribute subsets uniformly at random
+// (with replacement, excluding the empty set when dims > 0) following the
+// sampling of Ding et al. [7], and returns the union of those marginals.
+// The chosen subsets are also returned for use by strategies that need
+// them (e.g. the DataCube baseline).
+func RandomMarginals(shape domain.Shape, count int, r *rand.Rand) (*Workload, [][]int) {
+	dims := len(shape)
+	subsets := make([][]int, 0, count)
+	for q := 0; q < count; q++ {
+		var s []int
+		for {
+			s = s[:0]
+			for i := 0; i < dims; i++ {
+				if r.Intn(2) == 1 {
+					s = append(s, i)
+				}
+			}
+			if len(s) > 0 || dims == 0 {
+				break
+			}
+		}
+		subsets = append(subsets, append([]int(nil), s...))
+	}
+	w := MarginalSet(fmt.Sprintf("random marginal %s (m=%d)", shape, count), shape, subsets)
+	return w, subsets
+}
+
+// RandomRangeMarginals samples count random attribute subsets and returns
+// the union of the corresponding range-marginal workloads.
+func RandomRangeMarginals(shape domain.Shape, count int, r *rand.Rand) *Workload {
+	dims := len(shape)
+	mats := make([]*linalg.Matrix, 0, count)
+	for q := 0; q < count; q++ {
+		var s []int
+		for {
+			s = s[:0]
+			for i := 0; i < dims; i++ {
+				if r.Intn(2) == 1 {
+					s = append(s, i)
+				}
+			}
+			if len(s) > 0 {
+				break
+			}
+		}
+		mats = append(mats, rangeMarginalMatrix(shape, s))
+	}
+	return FromMatrix(fmt.Sprintf("random range marginal %s (m=%d)", shape, count),
+		shape, linalg.StackRows(mats...))
+}
+
+// subsetsOfSize enumerates all subsets of {0..n-1} with exactly k elements,
+// in lexicographic order.
+func subsetsOfSize(n, k int) [][]int {
+	if k < 0 || k > n {
+		return nil
+	}
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		// Advance combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func onesRow(d int) *linalg.Matrix {
+	m := linalg.New(1, d)
+	row := m.Row(0)
+	for j := range row {
+		row[j] = 1
+	}
+	return m
+}

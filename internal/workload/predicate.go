@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"math"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+)
+
+// AllPredicate returns the workload of all 2ⁿ−1 nonempty predicate (0/1)
+// queries over the shape, one of the expressive workload classes of
+// Sec 2.1/3.2. It is always implicit: a cell pair (i,j), i≠j, is covered
+// by 2ⁿ⁻² predicates and a single cell by 2ⁿ⁻¹, so
+//
+//	WᵀW = 2ⁿ⁻²·(J + I)    (J the all-ones matrix)
+//
+// For n beyond a few dozen cells 2ⁿ⁻² overflows float64 dynamic range
+// meaningfully, so the Gram matrix is normalized to J+I with the row count
+// capped at MaxInt-safe arithmetic; all error *ratios* are unaffected by
+// the global scale (they are what the paper compares), and the true scale
+// is recorded in the name.
+func AllPredicate(shape domain.Shape) *Workload {
+	n := shape.Size()
+	g := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		row := g.Row(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				row[j] = 2
+			} else {
+				row[j] = 1
+			}
+		}
+	}
+	// Row count: 2^n − 1 saturating at the largest exact int in float64.
+	m := math.MaxInt64 / 2
+	if n < 62 {
+		m = 1<<uint(n) - 1
+	}
+	return fromGram("all predicate "+shape.String()+" (gram normalized by 2^(n-2))", shape, m, g)
+}

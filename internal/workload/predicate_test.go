@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+)
+
+func TestAllPredicateGramMatchesExplicitEnumeration(t *testing.T) {
+	// Enumerate all nonempty predicates on a tiny domain and compare the
+	// Gram matrix shape (up to the documented 2^(n-2) normalization).
+	n := 4
+	rows := make([][]float64, 0, 1<<n-1)
+	for mask := 1; mask < 1<<n; mask++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				row[j] = 1
+			}
+		}
+		rows = append(rows, row)
+	}
+	explicit := linalg.NewFromRows(rows).Gram()
+	w := AllPredicate(domain.MustShape(n))
+	scaled := w.Gram().Scale(math.Pow(2, float64(n-2)))
+	if !scaled.Equal(explicit, 1e-9) {
+		t.Fatalf("analytic all-predicate gram mismatch:\n%v\nvs\n%v", scaled, explicit)
+	}
+	if w.NumQueries() != 1<<n-1 {
+		t.Fatalf("m = %d, want %d", w.NumQueries(), 1<<n-1)
+	}
+}
+
+func TestAllPredicateLargeDomain(t *testing.T) {
+	// Must not overflow on big domains.
+	w := AllPredicate(domain.MustShape(8, 16))
+	if w.Cells() != 128 {
+		t.Fatalf("cells = %d", w.Cells())
+	}
+	if w.NumQueries() <= 0 {
+		t.Fatal("row count overflowed")
+	}
+	if w.SensitivityL2() <= 0 {
+		t.Fatal("sensitivity not positive")
+	}
+}
+
+func TestAllPredicateSpectrum(t *testing.T) {
+	// J+I has eigenvalues n+1 (once) and 1 (n−1 times) — the normalized
+	// all-predicate Gram is 2·I + (J−I)... actually J+I with diagonal 2:
+	// J has eigenvalues {n, 0}, so J+I has {n+1, 1}.
+	n := 6
+	w := AllPredicate(domain.MustShape(n))
+	eg, err := linalg.SymEigen(w.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eg.Values[0]-float64(n+1)) > 1e-9 {
+		t.Fatalf("top eigenvalue = %g, want %d", eg.Values[0], n+1)
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(eg.Values[i]-1) > 1e-9 {
+			t.Fatalf("eigenvalue %d = %g, want 1", i, eg.Values[i])
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+)
+
+// AllRange returns the workload of all axis-aligned range queries over the
+// shape. When the full matrix is too large to materialize (it has
+// Π dᵢ(dᵢ+1)/2 rows), the workload is implicit: its Gram matrix is computed
+// analytically as the Kronecker product of the 1-dimensional all-range Gram
+// matrices, which is exact because a multi-dimensional range is the
+// Kronecker product of per-dimension intervals.
+func AllRange(shape domain.Shape) *Workload {
+	name := "all range " + shape.String()
+	m := shape.NumRanges()
+	grams := make([]*linalg.Matrix, len(shape))
+	for i, d := range shape {
+		grams[i] = allRangeGram1D(d)
+	}
+	var w *Workload
+	if m*shape.Size() <= maxExplicitEntries {
+		w = FromMatrix(name, shape, allRangeMatrix(shape))
+	} else {
+		w = fromGram(name, shape, m, linalg.KroneckerAll(grams...))
+	}
+	w.gramFactors = grams
+	return w
+}
+
+// allRangeMatrix materializes every axis-aligned range query.
+func allRangeMatrix(shape domain.Shape) *linalg.Matrix {
+	perDim := make([]*linalg.Matrix, len(shape))
+	for i, d := range shape {
+		perDim[i] = allRangeMatrix1D(d)
+	}
+	return linalg.KroneckerAll(perDim...)
+}
+
+// allRangeMatrix1D returns the d(d+1)/2 x d matrix of all intervals.
+func allRangeMatrix1D(d int) *linalg.Matrix {
+	m := linalg.New(d*(d+1)/2, d)
+	r := 0
+	for lo := 0; lo < d; lo++ {
+		for hi := lo; hi < d; hi++ {
+			row := m.Row(r)
+			for j := lo; j <= hi; j++ {
+				row[j] = 1
+			}
+			r++
+		}
+	}
+	return m
+}
+
+// allRangeGram1D returns the d x d Gram matrix of the 1-D all-range
+// workload analytically: entry (i,j) counts the intervals [lo,hi] with
+// lo ≤ min(i,j) and hi ≥ max(i,j), i.e. (min+1)·(d-max).
+func allRangeGram1D(d int) *linalg.Matrix {
+	g := linalg.New(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			g.Set(i, j, float64((lo+1)*(d-hi)))
+		}
+	}
+	return g
+}
+
+// RandomRange samples count random range queries using the two-step method
+// of Xiao et al. [21]: first draw a range length uniformly from the scales
+// of the domain, then a position uniformly among ranges of that length.
+// This favors a spread of query sizes instead of the large ranges that
+// dominate uniform interval sampling.
+func RandomRange(shape domain.Shape, count int, r *rand.Rand) *Workload {
+	n := shape.Size()
+	m := linalg.New(count, n)
+	for q := 0; q < count; q++ {
+		rng := sampleRange(shape, r)
+		row := m.Row(q)
+		fillRange(shape, rng, row)
+	}
+	return FromMatrix(fmt.Sprintf("random range %s (m=%d)", shape, count), shape, m)
+}
+
+// sampleRange draws one random multi-dimensional range, two-step per
+// dimension.
+func sampleRange(shape domain.Shape, r *rand.Rand) domain.Range {
+	lo := make([]int, len(shape))
+	hi := make([]int, len(shape))
+	for i, d := range shape {
+		length := 1 + r.Intn(d)         // step 1: uniform length in [1,d]
+		start := r.Intn(d - length + 1) // step 2: uniform position
+		lo[i] = start
+		hi[i] = start + length - 1
+	}
+	return domain.Range{Lo: lo, Hi: hi}
+}
+
+// fillRange sets row[idx] = 1 for every cell in rng.
+func fillRange(shape domain.Shape, rng domain.Range, row []float64) {
+	coords := append([]int(nil), rng.Lo...)
+	for {
+		row[shape.Index(coords)] = 1
+		// Odometer increment within the box.
+		k := len(coords) - 1
+		for k >= 0 {
+			coords[k]++
+			if coords[k] <= rng.Hi[k] {
+				break
+			}
+			coords[k] = rng.Lo[k]
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// Prefix returns the 1-D cumulative distribution (CDF) workload: query i
+// sums cells 0..i. Its first cell participates in all n queries, giving the
+// highly skewed column-norm profile discussed in Sec 5.1.
+func Prefix(n int) *Workload {
+	m := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := 0; j <= i; j++ {
+			row[j] = 1
+		}
+	}
+	return FromMatrix(fmt.Sprintf("1D CDF [%d]", n), domain.MustShape(n), m)
+}
+
+// Predicate samples count uniformly random predicate (0/1) queries: each
+// cell is included independently with probability 1/2.
+func Predicate(shape domain.Shape, count int, r *rand.Rand) *Workload {
+	n := shape.Size()
+	m := linalg.New(count, n)
+	for q := 0; q < count; q++ {
+		row := m.Row(q)
+		for j := range row {
+			if r.Intn(2) == 1 {
+				row[j] = 1
+			}
+		}
+	}
+	return FromMatrix(fmt.Sprintf("random predicate %s (m=%d)", shape, count), shape, m)
+}
+
+// Total returns the single total-count query (the 0-way marginal).
+func Total(shape domain.Shape) *Workload {
+	n := shape.Size()
+	m := linalg.New(1, n)
+	for j := range m.Row(0) {
+		m.Row(0)[j] = 1
+	}
+	return FromMatrix("total "+shape.String(), shape, m)
+}

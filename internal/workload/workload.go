@@ -1,0 +1,201 @@
+// Package workload constructs the query workloads evaluated in the paper:
+// all-range and random range queries, k-way marginals and range marginals,
+// CDF (prefix) workloads, random predicate queries, and the running example
+// of Fig. 1, together with transformations (column permutation, row
+// normalization for relative error, unions).
+//
+// A Workload wraps a set of m linear counting queries over n cells. For
+// error analysis only the Gram matrix WᵀW and the row count m matter
+// (Prop. 4), so very large structured workloads — all range queries on
+// 2048 cells have ~2.1M rows — are represented implicitly by an
+// analytically-computed Gram matrix. Explicit rows are kept whenever the
+// workload is small enough to materialize, which the mechanism needs to
+// actually answer queries on data.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+)
+
+// Workload is a set of linear counting queries over a cell domain.
+type Workload struct {
+	name  string
+	shape domain.Shape
+	m     int            // number of queries
+	mat   *linalg.Matrix // explicit m x n rows; nil when implicit
+	gram  *linalg.Matrix // cached WᵀW
+	// gramFactors, when non-nil, are per-dimension matrices whose Kronecker
+	// product equals the Gram matrix — set by product-form builders like
+	// AllRange so the eigendecomposition can be composed per dimension.
+	gramFactors []*linalg.Matrix
+}
+
+// maxExplicitEntries caps how many matrix entries (rows × cells) the
+// builders will materialize before switching to implicit Gram form.
+const maxExplicitEntries = 8 << 20
+
+// FromMatrix wraps an explicit query matrix as a workload. The number of
+// columns must match the shape's cell count.
+func FromMatrix(name string, shape domain.Shape, m *linalg.Matrix) *Workload {
+	if m.Cols() != shape.Size() {
+		panic(fmt.Sprintf("workload: matrix has %d cols for shape %v (%d cells)", m.Cols(), shape, shape.Size()))
+	}
+	return &Workload{name: name, shape: shape, m: m.Rows(), mat: m}
+}
+
+// fromGram wraps an implicit workload known only through its Gram matrix.
+func fromGram(name string, shape domain.Shape, m int, gram *linalg.Matrix) *Workload {
+	if gram.Rows() != shape.Size() || gram.Cols() != shape.Size() {
+		panic(fmt.Sprintf("workload: gram is %dx%d for %d cells", gram.Rows(), gram.Cols(), shape.Size()))
+	}
+	return &Workload{name: name, shape: shape, m: m, gram: gram}
+}
+
+// Name returns a human-readable workload label.
+func (w *Workload) Name() string { return w.name }
+
+// Shape returns the cell domain shape.
+func (w *Workload) Shape() domain.Shape { return w.shape }
+
+// Cells returns the number of cells n.
+func (w *Workload) Cells() int { return w.shape.Size() }
+
+// NumQueries returns the number of queries m.
+func (w *Workload) NumQueries() int { return w.m }
+
+// Explicit reports whether the query rows are materialized.
+func (w *Workload) Explicit() bool { return w.mat != nil }
+
+// Matrix returns the explicit m x n query matrix. It panics for implicit
+// workloads; check Explicit first.
+func (w *Workload) Matrix() *linalg.Matrix {
+	if w.mat == nil {
+		panic(fmt.Sprintf("workload: %q is implicit (m=%d); only its Gram matrix is available", w.name, w.m))
+	}
+	return w.mat
+}
+
+// Gram returns WᵀW, computing and caching it on first use.
+func (w *Workload) Gram() *linalg.Matrix {
+	if w.gram == nil {
+		w.gram = w.mat.GramParallel()
+	}
+	return w.gram
+}
+
+// GramFactors returns per-dimension factors whose Kronecker product is the
+// Gram matrix, when the workload has product form (e.g. multi-dimensional
+// all-range). The second result reports availability.
+func (w *Workload) GramFactors() ([]*linalg.Matrix, bool) {
+	return w.gramFactors, w.gramFactors != nil
+}
+
+// SensitivityL2 returns the L2 sensitivity ‖W‖₂ (Prop. 1): the maximum L2
+// column norm, read off the diagonal of the Gram matrix so it works for
+// implicit workloads too.
+func (w *Workload) SensitivityL2() float64 {
+	g := w.Gram()
+	var best float64
+	for i := 0; i < g.Rows(); i++ {
+		if v := g.At(i, i); v > best {
+			best = v
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return sqrt(best)
+}
+
+// PermuteCells returns the workload with its cell conditions reordered by
+// perm (new cell j is old cell perm[j]) — a semantically-equivalent
+// workload in the sense of Prop. 5.
+func (w *Workload) PermuteCells(perm []int, name string) *Workload {
+	if len(perm) != w.Cells() {
+		panic(fmt.Sprintf("workload: perm length %d for %d cells", len(perm), w.Cells()))
+	}
+	out := &Workload{name: name, shape: domain.MustShape(w.Cells()), m: w.m}
+	if w.mat != nil {
+		out.mat = w.mat.PermuteCols(perm)
+		return out
+	}
+	// Permute the Gram matrix: G'_{ij} = G_{perm[i],perm[j]}.
+	g := w.Gram()
+	n := w.Cells()
+	pg := linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pg.Set(i, j, g.At(perm[i], perm[j]))
+		}
+	}
+	out.gram = pg
+	return out
+}
+
+// NormalizeRows returns a copy with every query scaled to unit L2 norm,
+// the heuristic of Sec 3.4 used to optimize toward relative error.
+// Zero rows are left untouched. Implicit workloads cannot be normalized.
+func (w *Workload) NormalizeRows() *Workload {
+	m := w.Matrix().Clone()
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1 / sqrt(s)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return FromMatrix(w.name+" (row-normalized)", w.shape, m)
+}
+
+// Union stacks several explicit workloads over the same shape into one, as
+// when combining the queries of multiple users (Sec 1).
+func Union(name string, ws ...*Workload) *Workload {
+	if len(ws) == 0 {
+		panic("workload: empty union")
+	}
+	shape := ws[0].shape
+	mats := make([]*linalg.Matrix, len(ws))
+	for i, w := range ws {
+		if !w.shape.Equal(shape) && w.Cells() != shape.Size() {
+			panic(fmt.Sprintf("workload: union shape mismatch %v vs %v", w.shape, shape))
+		}
+		mats[i] = w.Matrix()
+	}
+	return FromMatrix(name, shape, linalg.StackRows(mats...))
+}
+
+// Scale returns the workload with all queries multiplied by s.
+func (w *Workload) Scale(s float64) *Workload {
+	if w.mat != nil {
+		return FromMatrix(w.name, w.shape, w.mat.Scale(s))
+	}
+	return fromGram(w.name, w.shape, w.m, w.Gram().Scale(s*s))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// Identity returns the identity workload (every base cell count).
+func Identity(shape domain.Shape) *Workload {
+	return FromMatrix("identity "+shape.String(), shape, linalg.Identity(shape.Size()))
+}
+
+// randPerm draws a permutation using the supplied source, so experiments
+// are reproducible.
+func randPerm(r *rand.Rand, n int) []int { return r.Perm(n) }
