@@ -19,15 +19,39 @@
 //
 // Analytic error and the Thm 2 lower bound are available without touching
 // data via Error and LowerBound.
+//
+// # Scaling: matrix-free workloads and strategies
+//
+// Workloads and strategies are linear operators, not necessarily dense
+// matrices. Structured builders (AllRange, Prefix, Marginals,
+// RangeMarginals) return matrix-free representations — Kronecker products
+// of per-dimension interval, identity and total operators — so even
+// workloads whose explicit matrix would have billions of entries are fully
+// answerable: AllRange(2048) has ~2.1M query rows and is answered in
+// O(rows) per release without ever materializing them. There is no longer
+// a hard cap on the domain sizes that can be *answered*; dense rows are
+// only required by APIs that hand out explicit matrices.
+//
+// Strategies follow the same principle. Design on product-form workloads
+// past ~1k cells keeps the eigen-structure in factored Kronecker form and
+// returns a matrix-free strategy; HierarchicalStrategy and
+// IdentityStrategy provide structured strategies at any scale with no
+// optimization cost. Inference automatically selects between a one-time
+// dense pseudo-inverse (small strategies, fastest per release) and
+// matrix-free conjugate-gradient least squares (structured or large
+// strategies, no O(n³) preprocessing) — see the internal/linalg operator
+// documentation for the representation guide.
 package adaptivemm
 
 import (
+	"fmt"
 	"math/rand"
 
 	"adaptivemm/internal/core"
 	"adaptivemm/internal/domain"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/strategy"
 	"adaptivemm/internal/workload"
 )
 
@@ -51,9 +75,14 @@ type Strategy struct {
 // Name returns a human-readable strategy label.
 func (s *Strategy) Name() string { return s.name }
 
-// Matrix returns the strategy's query matrix rows as a copy.
+// Matrix returns the strategy's query matrix rows as a copy, materializing
+// structured (operator) strategies. It panics if the strategy is too large
+// to materialize; use Estimate/Answer, which never materialize.
 func (s *Strategy) Matrix() [][]float64 {
-	a := s.mech.Strategy()
+	a, err := s.mech.StrategyDense()
+	if err != nil {
+		panic(err)
+	}
 	out := make([][]float64, a.Rows())
 	for i := range out {
 		out[i] = append([]float64(nil), a.Row(i)...)
@@ -101,7 +130,7 @@ func Design(w *Workload, opts ...DesignOption) (*Strategy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newStrategy("EigenDesign", res.Strategy, res.Eigenvalues)
+	return newStrategy("EigenDesign", res.Op, res.Eigenvalues)
 }
 
 // DesignSeparated runs the eigen-query separation optimization (Sec 4.2):
@@ -116,7 +145,7 @@ func DesignSeparated(w *Workload, groupSize int, opts ...DesignOption) (*Strateg
 	if err != nil {
 		return nil, err
 	}
-	return newStrategy("EigenDesign(separated)", res.Strategy, res.Eigenvalues)
+	return newStrategy("EigenDesign(separated)", res.Op, res.Eigenvalues)
 }
 
 // DesignPrincipal runs the principal-vector optimization (Sec 4.2): only
@@ -130,11 +159,30 @@ func DesignPrincipal(w *Workload, k int, opts ...DesignOption) (*Strategy, error
 	if err != nil {
 		return nil, err
 	}
-	return newStrategy("EigenDesign(principal)", res.Strategy, res.Eigenvalues)
+	return newStrategy("EigenDesign(principal)", res.Op, res.Eigenvalues)
 }
 
-func newStrategy(name string, a *linalg.Matrix, eigenvalues []float64) (*Strategy, error) {
-	mech, err := mm.NewMechanism(a)
+// HierarchicalStrategy returns the b-ary hierarchical (tree) strategy of
+// Hay et al. over the given dimensions as a matrix-free operator — a
+// structured strategy with no optimization cost that scales to domains far
+// past what Design can optimize, and is near-optimal for range workloads.
+func HierarchicalStrategy(branch int, dims ...int) (*Strategy, error) {
+	if branch < 2 {
+		return nil, fmt.Errorf("adaptivemm: branching factor %d < 2", branch)
+	}
+	shape := domain.MustShape(dims...)
+	op := strategy.HierarchicalOperator(shape, branch)
+	return newStrategy("Hierarchical", op, nil)
+}
+
+// IdentityStrategy returns the identity strategy (noisy cell counts) as a
+// matrix-free operator at any scale.
+func IdentityStrategy(dims ...int) (*Strategy, error) {
+	return newStrategy("Identity", strategy.IdentityOperator(domain.MustShape(dims...)), nil)
+}
+
+func newStrategy(name string, a linalg.Operator, eigenvalues []float64) (*Strategy, error) {
+	mech, err := mm.NewMechanismOp(a)
 	if err != nil {
 		return nil, err
 	}
@@ -167,8 +215,10 @@ func IdentityWorkload(dims ...int) *Workload {
 }
 
 // AllRange returns the workload of all axis-aligned range queries over the
-// given dimensions. Large instances are represented implicitly (error
-// analysis and Design work; per-query answering needs explicit workloads).
+// given dimensions, as a matrix-free Kronecker operator: answerable at any
+// scale (AllRange(2048) has ~2.1M rows and answers in O(rows) per
+// release), with the Gram matrix available analytically for error
+// analysis and Design.
 func AllRange(dims ...int) *Workload {
 	return workload.AllRange(domain.MustShape(dims...))
 }

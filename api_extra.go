@@ -31,7 +31,11 @@ func DesignMarginalsExact(subsets [][]int, dims ...int) (*Strategy, error) {
 // start the result approximates the global optimum). Use it to certify
 // how far from optimal a design is, as the paper does in Example 4.
 func Refine(w *Workload, s *Strategy, iterations int) (*Strategy, error) {
-	refined, err := opt.RefineStrategy(w.Gram(), s.mech.Strategy(), opt.RefineOptions{Iterations: iterations})
+	dense, err := s.mech.StrategyDense()
+	if err != nil {
+		return nil, err
+	}
+	refined, err := opt.RefineStrategy(w.Gram(), dense, opt.RefineOptions{Iterations: iterations})
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +65,7 @@ func (s *Strategy) AnswerLaplace(w *Workload, x []float64, epsilon float64, r *r
 	if err != nil {
 		return nil, err
 	}
-	return w.Matrix().MulVec(xhat), nil
+	return w.MulQueries(xhat), nil
 }
 
 // ErrorL1 returns the analytic RMSE of answering w with this strategy

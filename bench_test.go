@@ -6,6 +6,7 @@
 package adaptivemm
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -14,6 +15,7 @@ import (
 	"adaptivemm/internal/experiments"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/strategy"
 	"adaptivemm/internal/workload"
 )
 
@@ -154,5 +156,80 @@ func BenchmarkGramAllRange512(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		workload.AllRange(shape).Gram()
+	}
+}
+
+// --- Dense vs operator inference, and design at scale ---
+
+// BenchmarkEstimate compares one private release (noisy strategy answers
+// + least-squares inference) on the dense pseudo-inverse path against the
+// matrix-free operator path, over the same hierarchical strategy at
+// n ∈ {256, 1024, 4096}. The dense arm materializes the strategy and its
+// pseudo-inverse (setup, untimed) and pays O(m·n) per release; the
+// operator arm runs CGLS with O(nnz) matvecs. The dense arm is skipped at
+// 4096 where the O(n³) pseudo-inverse setup is no longer reasonable —
+// that asymmetry is the point.
+func BenchmarkEstimate(b *testing.B) {
+	p := mm.Privacy{Epsilon: 0.5, Delta: 1e-4}
+	for _, n := range []int{256, 1024, 4096} {
+		op := strategy.HierarchicalOperator(domain.MustShape(n), 2)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i % 13)
+		}
+		if n <= 1024 {
+			b.Run(fmt.Sprintf("dense/%d", n), func(b *testing.B) {
+				mech, err := mm.NewMechanism(linalg.ToDense(op))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mech.MatrixFree() {
+					b.Fatal("expected dense pseudo-inverse path")
+				}
+				r := rand.New(rand.NewSource(1))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mech.EstimateGaussian(x, p, r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("operator/%d", n), func(b *testing.B) {
+			mech, err := mm.NewMechanismOp(op)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !mech.MatrixFree() {
+				b.Fatal("expected matrix-free path")
+			}
+			r := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mech.EstimateGaussian(x, p, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDesign measures strategy design on 2-D all-range workloads at
+// n ∈ {256, 1024, 4096} cells via the principal-vector optimization: the
+// two smaller sizes run the dense pipeline, 4096 crosses the structured
+// threshold and runs the factored Kronecker pipeline — the configuration
+// the server uses past the dense cap.
+func BenchmarkDesign(b *testing.B) {
+	for _, d := range []int{16, 32, 64} {
+		n := d * d
+		b.Run(fmt.Sprintf("allrange-%dx%d/%d", d, d, n), func(b *testing.B) {
+			w := workload.AllRange(domain.MustShape(d, d))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PrincipalVectors(w, 16, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -73,23 +73,38 @@ func main() {
 		fail(err)
 	}
 
-	e, err := mm.Error(w, res.Strategy, p)
-	if err != nil {
-		fail(err)
-	}
-	lb, err := mm.LowerBound(w, p)
-	if err != nil {
-		fail(err)
-	}
 	fmt.Printf("workload:        %s (%d queries, %d cells)\n", w.Name(), w.NumQueries(), w.Cells())
-	fmt.Printf("strategy:        %d queries, rank %d\n", res.Strategy.Rows(), res.Rank)
-	fmt.Printf("expected RMSE:   %.4g  (ε=%g, δ=%g)\n", e, *eps, *delta)
-	fmt.Printf("lower bound:     %.4g  (ratio %.3f)\n", lb, e/lb)
+	form := "dense"
+	if res.Strategy == nil {
+		form = "operator (matrix-free)"
+	}
+	fmt.Printf("strategy:        %d queries, rank %d, %s\n", res.Op.Rows(), res.Rank, form)
+	// The analytic error and lower bound need a dense n×n Gram and an
+	// O(n³) eigendecomposition — skip them past the analysis cap so huge
+	// matrix-free designs stay matrix-free.
+	const analysisCap = 2048
+	if w.Cells() <= analysisCap {
+		e, err := mm.Error(w, res.Op, p)
+		if err != nil {
+			fail(err)
+		}
+		lb, err := mm.LowerBound(w, p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("expected RMSE:   %.4g  (ε=%g, δ=%g)\n", e, *eps, *delta)
+		fmt.Printf("lower bound:     %.4g  (ratio %.3f)\n", lb, e/lb)
+	} else {
+		fmt.Printf("expected RMSE:   skipped (%d cells > %d; analysis needs O(n³) dense algebra)\n", w.Cells(), analysisCap)
+	}
 	if len(res.Eigenvalues) > 0 {
 		fmt.Printf("Thm 3 ratio cap: %.3f\n", core.ApproxRatioBound(res.Eigenvalues))
 	}
 
 	if *stratOut != "" {
+		if res.Strategy == nil {
+			fail(fmt.Errorf("amdesign: structured strategy is matrix-free; -strategy-out requires a dense design (smaller domain)"))
+		}
 		if err := writeStrategy(*stratOut, res.Strategy); err != nil {
 			fail(err)
 		}
@@ -97,7 +112,7 @@ func main() {
 	}
 
 	if *dataPath != "" {
-		if err := release(w, res.Strategy, *dataPath, p, r); err != nil {
+		if err := release(w, res.Op, *dataPath, p, r); err != nil {
 			fail(err)
 		}
 	}
@@ -141,7 +156,7 @@ func writeStrategy(path string, a *linalg.Matrix) error {
 	return wio.WriteMatrixCSV(f, a)
 }
 
-func release(w *workload.Workload, a *linalg.Matrix, dataPath string, p mm.Privacy, r *rand.Rand) error {
+func release(w *workload.Workload, a linalg.Operator, dataPath string, p mm.Privacy, r *rand.Rand) error {
 	f, err := os.Open(dataPath)
 	if err != nil {
 		return err
@@ -154,7 +169,7 @@ func release(w *workload.Workload, a *linalg.Matrix, dataPath string, p mm.Priva
 	if len(x) != w.Cells() {
 		return fmt.Errorf("amdesign: histogram has %d cells, workload expects %d", len(x), w.Cells())
 	}
-	mech, err := mm.NewMechanism(a)
+	mech, err := mm.NewMechanismOp(a)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module adaptivemm
+
+go 1.24.0

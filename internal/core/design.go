@@ -52,6 +52,13 @@ type Options struct {
 	// RankTol is the relative eigenvalue cutoff below which design queries
 	// are dropped (Sec 4.1). Default 1e-10.
 	RankTol float64
+	// StructuredThreshold is the cell count above which workloads in
+	// product (Kronecker) form keep their eigen-structure factored: the
+	// design runs on per-dimension eigendecompositions and returns the
+	// strategy as a matrix-free operator instead of a dense matrix.
+	// Default 1024. The L2 weighting only; L1 and custom design bases
+	// always use the dense pipeline.
+	StructuredThreshold int
 	// Barrier and FirstOrder tune the respective solvers.
 	Barrier    opt.BarrierOptions
 	FirstOrder opt.FirstOrderOptions
@@ -64,17 +71,28 @@ func (o Options) withDefaults() Options {
 	if o.RankTol <= 0 {
 		o.RankTol = 1e-10
 	}
+	if o.StructuredThreshold <= 0 {
+		o.StructuredThreshold = 1024
+	}
 	return o
 }
 
 // Result is the output of the Eigen-Design algorithm.
 type Result struct {
+	// Op is the strategy as a linear operator — always set. For the dense
+	// pipeline it is the Strategy matrix itself; for structured (factored
+	// Kronecker) designs it is a matrix-free composition of the
+	// per-dimension eigenvector matrices, the solved weights, and the
+	// completion rows.
+	Op linalg.Operator
 	// Strategy is the full strategy matrix A (weighted design queries plus
-	// completion rows).
+	// completion rows). It is nil for structured designs, which are too
+	// large to materialize — use Op.
 	Strategy *linalg.Matrix
 	// Weights holds the solved weight λᵢ of each design query.
 	Weights []float64
-	// Design holds the design queries used (rows).
+	// Design holds the design queries used (rows); nil for structured
+	// designs (the design set is the factored eigenbasis).
 	Design *linalg.Matrix
 	// Eigenvalues are the eigenvalues of WᵀW in descending order (clamped
 	// at zero); nil when a custom design basis was supplied.
@@ -89,6 +107,9 @@ func Design(w *workload.Workload, o Options) (*Result, error) {
 	o = o.withDefaults()
 	if o.DesignBasis != nil {
 		return designWithBasis(w, o.DesignBasis, o)
+	}
+	if fe, ok := factoredEigenFor(w, o); ok {
+		return designFactored(fe, o)
 	}
 
 	// Step 1: eigendecomposition of WᵀW; design queries are eigen-queries.
@@ -143,7 +164,14 @@ func designWithBasis(w *workload.Workload, q *linalg.Matrix, o Options) (*Result
 // solveWeighting solves the weighting program for design matrix q and
 // costs c, returning the solved variables u (u = λ² for L2, u = λ for L1).
 func solveWeighting(q *linalg.Matrix, c []float64, o Options) ([]float64, error) {
-	prog := &opt.Program{C: c, B: constraintMatrix(q, o.L1), Power: powerFor(o.L1)}
+	return solveWeightingPrepared(constraintMatrix(q, o.L1), c, o)
+}
+
+// solveWeightingPrepared is solveWeighting for callers that build the
+// constraint matrix themselves (the factored pipeline, which squares
+// eigen rows as it streams them).
+func solveWeightingPrepared(b *linalg.Matrix, c []float64, o Options) ([]float64, error) {
+	prog := &opt.Program{C: c, B: b, Power: powerFor(o.L1)}
 	// Apply the rank cutoff relative to the largest cost.
 	var maxC float64
 	for _, v := range c {
@@ -207,7 +235,7 @@ func assemble(q *linalg.Matrix, u []float64, o Options) (*Result, error) {
 	if !o.SkipCompletion {
 		a = complete(aPrime, o.L1)
 	}
-	return &Result{Strategy: a, Weights: lambda, Design: q, Rank: rank}, nil
+	return &Result{Op: a, Strategy: a, Weights: lambda, Design: q, Rank: rank}, nil
 }
 
 // complete implements steps 4–5 of Program 2: append diagonal rows raising

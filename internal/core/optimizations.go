@@ -20,6 +20,9 @@ func EigenSeparation(w *workload.Workload, groupSize int, o Options) (*Result, e
 	if groupSize < 1 {
 		return nil, fmt.Errorf("core: group size %d < 1", groupSize)
 	}
+	if fe, ok := factoredEigenFor(w, o); ok {
+		return separationFactored(fe, groupSize, o)
+	}
 	eg, err := gramEigen(w)
 	if err != nil {
 		return nil, err
@@ -114,6 +117,9 @@ func PrincipalVectors(w *workload.Workload, k int, o Options) (*Result, error) {
 	o = o.withDefaults()
 	if k < 1 {
 		return nil, fmt.Errorf("core: principal vector count %d < 1", k)
+	}
+	if fe, ok := factoredEigenFor(w, o); ok {
+		return principalFactored(fe, k, o)
 	}
 	eg, err := gramEigen(w)
 	if err != nil {

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/workload"
+)
+
+// lowThreshold forces the factored pipeline at test-friendly sizes;
+// highThreshold forces the dense pipeline on the same workload.
+const (
+	lowThreshold  = 10
+	highThreshold = 1 << 30
+)
+
+var structuredPrivacy = mm.Privacy{Epsilon: 0.5, Delta: 1e-4}
+
+func workloadError(t *testing.T, w *workload.Workload, op linalg.Operator) float64 {
+	t.Helper()
+	e, err := mm.Error(w, op, structuredPrivacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// The factored branch must reproduce the dense branch: same program, same
+// error, for each of the three design entry points.
+func TestFactoredMatchesDense(t *testing.T) {
+	w := workload.AllRange(domain.MustShape(12, 12))
+	cases := []struct {
+		name string
+		run  func(o Options) (*Result, error)
+	}{
+		{"design", func(o Options) (*Result, error) { return Design(w, o) }},
+		{"separation", func(o Options) (*Result, error) { return EigenSeparation(w, 8, o) }},
+		{"principal", func(o Options) (*Result, error) { return PrincipalVectors(w, 6, o) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fact, err := c.run(Options{StructuredThreshold: lowThreshold})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fact.Strategy != nil {
+				t.Fatal("factored result materialized a dense strategy")
+			}
+			if fact.Op == nil {
+				t.Fatal("factored result has no operator")
+			}
+			dense, err := c.run(Options{StructuredThreshold: highThreshold})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dense.Strategy == nil {
+				t.Fatal("dense result missing strategy matrix")
+			}
+			eF := workloadError(t, w, fact.Op)
+			eD := workloadError(t, w, dense.Strategy)
+			if math.Abs(eF-eD) > 1e-6*eD {
+				t.Fatalf("errors diverge: factored %g vs dense %g", eF, eD)
+			}
+			// The attached column norms must match the materialized truth.
+			got := linalg.OperatorColNorms2(fact.Op)
+			want := linalg.ToDense(fact.Op).ColNorms2()
+			for j := range want {
+				if math.Abs(got[j]-want[j]) > 1e-8*(1+want[j]) {
+					t.Fatalf("column norm %d: %g vs %g", j, got[j], want[j])
+				}
+			}
+		})
+	}
+}
+
+// Eigenvalues from the factored path must match the dense path (they feed
+// the server's lower-bound report).
+func TestFactoredEigenvaluesMatchDense(t *testing.T) {
+	w := workload.AllRange(domain.MustShape(8, 10))
+	fact, err := PrincipalVectors(w, 4, Options{StructuredThreshold: lowThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := PrincipalVectors(w, 4, Options{StructuredThreshold: highThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fact.Eigenvalues) != len(dense.Eigenvalues) {
+		t.Fatalf("eigenvalue counts differ: %d vs %d", len(fact.Eigenvalues), len(dense.Eigenvalues))
+	}
+	for i := range fact.Eigenvalues {
+		if math.Abs(fact.Eigenvalues[i]-dense.Eigenvalues[i]) > 1e-8*(1+dense.Eigenvalues[i]) {
+			t.Fatalf("eigenvalue %d: %g vs %g", i, fact.Eigenvalues[i], dense.Eigenvalues[i])
+		}
+	}
+}
+
+// One-dimensional and small workloads must never take the factored branch.
+func TestFactoredGate(t *testing.T) {
+	if _, ok := factoredEigenFor(workload.AllRange(domain.MustShape(4096)), Options{}.withDefaults()); ok {
+		t.Fatal("1-D workload took the factored branch")
+	}
+	if _, ok := factoredEigenFor(workload.AllRange(domain.MustShape(8, 8)), Options{}.withDefaults()); ok {
+		t.Fatal("small workload took the factored branch")
+	}
+	o := Options{L1: true, StructuredThreshold: lowThreshold}.withDefaults()
+	if _, ok := factoredEigenFor(workload.AllRange(domain.MustShape(12, 12)), o); ok {
+		t.Fatal("L1 weighting took the factored branch")
+	}
+	if _, ok := factoredEigenFor(workload.AllRange(domain.MustShape(12, 12)), Options{StructuredThreshold: lowThreshold}.withDefaults()); !ok {
+		t.Fatal("eligible workload did not take the factored branch")
+	}
+}

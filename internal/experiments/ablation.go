@@ -40,7 +40,7 @@ func Ablation(cfg Config) ([]*Table, error) {
 				return nil, err
 			}
 			d := time.Since(start)
-			e, err := mm.Error(w, res.Strategy, p)
+			e, err := mm.Error(w, res.Op, p)
 			if err != nil {
 				return nil, err
 			}

@@ -87,7 +87,7 @@ func Fig4(cfg Config) ([]*Table, error) {
 				return nil, err
 			}
 			d := time.Since(start)
-			e, err := mm.Error(panel.w, res.Strategy, p)
+			e, err := mm.Error(panel.w, res.Op, p)
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +105,7 @@ func Fig4(cfg Config) ([]*Table, error) {
 				return nil, err
 			}
 			d := time.Since(start)
-			e, err := mm.Error(panel.w, res.Strategy, p)
+			e, err := mm.Error(panel.w, res.Op, p)
 			if err != nil {
 				return nil, err
 			}

@@ -54,7 +54,7 @@ func Fig5(cfg Config) ([]*Table, error) {
 				return nil, err
 			}
 			err2 := error(nil)
-			val, err2 := mm.Error(e.w, res.Strategy, p)
+			val, err2 := mm.Error(e.w, res.Op, p)
 			if err2 != nil {
 				return nil, err2
 			}

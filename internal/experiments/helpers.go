@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"adaptivemm/internal/core"
@@ -107,7 +108,7 @@ func designError(w *workload.Workload, p mm.Privacy, o core.Options) (float64, t
 		return 0, 0, err
 	}
 	dur := time.Since(start)
-	e, err := mm.Error(w, res.Strategy, p)
+	e, err := mm.Error(w, res.Op, p)
 	return e, dur, err
 }
 
@@ -123,6 +124,9 @@ func designStrategy(w *workload.Workload, o core.Options) (*linalg.Matrix, error
 	res, err := core.Design(w, o)
 	if err != nil {
 		return nil, err
+	}
+	if res.Strategy == nil {
+		return nil, fmt.Errorf("experiments: design of %q produced a matrix-free strategy; this experiment needs dense rows", w.Name())
 	}
 	return res.Strategy, nil
 }

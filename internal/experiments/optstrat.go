@@ -41,9 +41,12 @@ func OptStrat(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		eig, err := mm.Error(w, res.Strategy, p)
+		eig, err := mm.Error(w, res.Op, p)
 		if err != nil {
 			return nil, err
+		}
+		if res.Strategy == nil {
+			return nil, fmt.Errorf("experiments: refinement needs a dense strategy for %q", w.Name())
 		}
 		refined, err := opt.RefineStrategy(w.Gram(), res.Strategy, opt.RefineOptions{Iterations: 800})
 		if err != nil {

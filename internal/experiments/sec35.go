@@ -54,7 +54,7 @@ func Sec35(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		weighted, err := mm.ErrorL1(e.w, res.Strategy, eps)
+		weighted, err := mm.ErrorL1(e.w, res.Op, eps)
 		if err != nil {
 			return nil, err
 		}

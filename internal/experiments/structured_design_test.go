@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+
+	"adaptivemm/internal/core"
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/workload"
+)
+
+// Regression: at full scale the range panels cross the structured design
+// threshold, where core.Design returns a matrix-free strategy and
+// Result.Strategy is nil. designError must evaluate the operator result
+// rather than panicking on the nil dense matrix.
+func TestDesignErrorOnStructuredWorkload(t *testing.T) {
+	// A lowered threshold forces the factored branch at test-friendly size;
+	// at full scale the range panels cross the default threshold the same way.
+	w := workload.AllRange(domain.MustShape(12, 12))
+	e, _, err := designError(w, mm.Privacy{Epsilon: 0.5, Delta: 1e-4},
+		core.Options{StructuredThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 {
+		t.Fatalf("expected positive workload error, got %g", e)
+	}
+}

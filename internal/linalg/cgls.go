@@ -1,0 +1,140 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCGDiverged is returned when an iterative solve produces non-finite
+// values (an ill-posed operator or catastrophically scaled input).
+var ErrCGDiverged = errors.New("linalg: conjugate-gradient iteration diverged")
+
+// CGOptions tunes the iterative least-squares solvers.
+type CGOptions struct {
+	// Tol is the relative stopping tolerance on ‖Aᵀr‖ (CGLS) or ‖r‖ (CG),
+	// measured against the initial value. Default 1e-13.
+	Tol float64
+	// MaxIter caps the iteration count. Default 4·cols + 50 — CGLS
+	// converges in at most cols steps in exact arithmetic; the slack
+	// absorbs rounding on ill-conditioned strategies.
+	MaxIter int
+}
+
+func (o CGOptions) withDefaults(n int) CGOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-13
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 4*n + 50
+	}
+	return o
+}
+
+// SolveCGLS solves the least-squares problem min ‖Ax − b‖₂ by conjugate
+// gradients on the normal equations in factored form (CGLS / CGNR). Only
+// MulVec and MulVecT are used, so A may be any Operator — this is the
+// matrix-free inference path that replaces the dense pseudo-inverse for
+// structured strategies. Starting from x₀ = 0 the iterates stay in
+// range(Aᵀ), so for rank-deficient A the result converges to the
+// minimum-norm least-squares solution A⁺b, matching PseudoInverse.
+func SolveCGLS(a Operator, b []float64, o CGOptions) ([]float64, error) {
+	if len(b) != a.Rows() {
+		panic(fmt.Sprintf("linalg: SolveCGLS rhs length %d, want %d", len(b), a.Rows()))
+	}
+	n := a.Cols()
+	o = o.withDefaults(n)
+
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b − A x
+	s := a.MulVecT(r)                 // s = Aᵀ r
+	p := append([]float64(nil), s...)
+	gamma := dot(s, s)
+	if gamma == 0 {
+		return x, nil // b ⟂ range(A): least-squares solution is 0
+	}
+	tol2 := o.Tol * o.Tol * gamma
+	for it := 0; it < o.MaxIter; it++ {
+		q := a.MulVec(p)
+		qq := dot(q, q)
+		if qq == 0 {
+			break // p in the null space; nothing further to gain
+		}
+		alpha := gamma / qq
+		for i := range x {
+			x[i] += alpha * p[i]
+		}
+		for i := range r {
+			r[i] -= alpha * q[i]
+		}
+		s = a.MulVecT(r)
+		gammaNew := dot(s, s)
+		if math.IsNaN(gammaNew) || math.IsInf(gammaNew, 0) {
+			return nil, ErrCGDiverged
+		}
+		if gammaNew <= tol2 {
+			return x, nil
+		}
+		beta := gammaNew / gamma
+		for i := range p {
+			p[i] = s[i] + beta*p[i]
+		}
+		gamma = gammaNew
+	}
+	return x, nil
+}
+
+// SolveNormalCG solves (AᵀA)·x = b by plain conjugate gradients with the
+// Gram product evaluated as MulVecT(MulVec(·)). b must lie in range(AᵀA)
+// for an exact solution; it is used for per-query variance computation
+// wᵢᵀ(AᵀA)⁺wᵢ without forming a pseudo-inverse.
+func SolveNormalCG(a Operator, b []float64, o CGOptions) ([]float64, error) {
+	n := a.Cols()
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveNormalCG rhs length %d, want %d", len(b), n))
+	}
+	o = o.withDefaults(n)
+
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), r...)
+	rr := dot(r, r)
+	if rr == 0 {
+		return x, nil
+	}
+	tol2 := o.Tol * o.Tol * rr
+	for it := 0; it < o.MaxIter; it++ {
+		gp := a.MulVecT(a.MulVec(p))
+		pgp := dot(p, gp)
+		if pgp <= 0 {
+			break // numerical null-space direction
+		}
+		alpha := rr / pgp
+		for i := range x {
+			x[i] += alpha * p[i]
+		}
+		for i := range r {
+			r[i] -= alpha * gp[i]
+		}
+		rrNew := dot(r, r)
+		if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
+			return nil, ErrCGDiverged
+		}
+		if rrNew <= tol2 {
+			return x, nil
+		}
+		for i := range p {
+			p[i] = r[i] + (rrNew/rr)*p[i]
+		}
+		rr = rrNew
+	}
+	return x, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,13 +1,24 @@
-// Package linalg provides the dense linear-algebra substrate used by the
-// adaptive matrix mechanism: matrix arithmetic, factorizations (LU,
-// Cholesky), a symmetric eigensolver, pseudo-inverses, and Kronecker /
-// Hadamard products. It is written against the standard library only and
-// replaces the numpy/LAPACK layer used by the paper's reference
+// Package linalg provides the linear-algebra substrate used by the
+// adaptive matrix mechanism. It is written against the standard library
+// only and replaces the numpy/LAPACK layer used by the paper's reference
 // implementation.
 //
-// All matrices are dense, row-major float64. The sizes that appear in the
-// paper's evaluation (up to a few thousand cells) are well within reach of
-// the O(n^3) dense algorithms implemented here.
+// The package has two tiers:
+//
+//   - The dense tier: row-major float64 Matrix with arithmetic,
+//     factorizations (LU, Cholesky), a symmetric eigensolver,
+//     pseudo-inverses, and Kronecker / Hadamard products. O(n³)
+//     algorithms, right up to a few thousand cells.
+//   - The operator tier: the Operator interface (see operator.go for the
+//     representation guide) with matrix-free structured implementations —
+//     Sparse CSR, Identity, Prefix, Intervals, Kronecker products and
+//     structural combinators — plus the iterative CGLS least-squares
+//     solver. This is the tier that scales past the dense ceiling: only
+//     matvecs are ever required, so memory is O(nonzeros or less) and a
+//     release costs O(rows) for the analytic forms.
+//
+// Matrix itself implements Operator, so dense remains just one
+// representation choice among several.
 package linalg
 
 import (

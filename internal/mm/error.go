@@ -59,25 +59,27 @@ var ErrNotSupported = errors.New("mm: workload is not supported by the strategy 
 //
 //	Error_A(W) = ‖A‖₂ · sqrt( P(ε,δ) · trace(WᵀW (AᵀA)⁺) / m )
 //
-// following Prop. 4 with Def. 5's 1/m averaging. The pseudo-inverse
-// handles rank-deficient strategies; use ErrorChecked to verify support.
-// The result is independent of the database, as the paper emphasizes.
-func Error(w *workload.Workload, a *linalg.Matrix, p Privacy) (float64, error) {
+// following Prop. 4 with Def. 5's 1/m averaging. The strategy may be any
+// operator — dense matrices use the blocked Gram product, structured
+// operators their analytic Gram. The pseudo-inverse handles rank-deficient
+// strategies; use ErrorChecked to verify support. The result is
+// independent of the database, as the paper emphasizes.
+func Error(w *workload.Workload, a linalg.Operator, p Privacy) (float64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
-	gA := a.GramParallel()
+	gA := linalg.OperatorGram(a)
 	inv, err := linalg.PseudoInverseSym(gA, 1e-11)
 	if err != nil {
 		return 0, err
 	}
-	return errorFromParts(w, a.MaxColNorm2(), w.Gram().TraceProduct(inv), p)
+	return errorFromParts(w, linalg.MaxColNorm2Op(a), w.Gram().TraceProduct(inv), p)
 }
 
 // ErrorChecked is Error plus a verification that the workload's row space
 // is contained in the strategy's; it returns ErrNotSupported otherwise.
-func ErrorChecked(w *workload.Workload, a *linalg.Matrix, p Privacy) (float64, error) {
-	gA := a.GramParallel()
+func ErrorChecked(w *workload.Workload, a linalg.Operator, p Privacy) (float64, error) {
+	gA := linalg.OperatorGram(a)
 	inv, err := linalg.PseudoInverseSym(gA, 1e-11)
 	if err != nil {
 		return 0, err
@@ -89,7 +91,7 @@ func ErrorChecked(w *workload.Workload, a *linalg.Matrix, p Privacy) (float64, e
 	if !proj.Equal(g, 1e-6*scale) {
 		return 0, ErrNotSupported
 	}
-	return errorFromParts(w, a.MaxColNorm2(), g.TraceProduct(inv), p)
+	return errorFromParts(w, linalg.MaxColNorm2Op(a), g.TraceProduct(inv), p)
 }
 
 func errorFromParts(w *workload.Workload, sens, trace float64, p Privacy) (float64, error) {
@@ -110,11 +112,11 @@ func errorFromParts(w *workload.Workload, sens, trace float64, p Privacy) (float
 //
 // using the Laplace distribution's variance 2b². Only the sensitivity term
 // differs from the (ε,δ) case, exactly as the paper describes.
-func ErrorL1(w *workload.Workload, a *linalg.Matrix, epsilon float64) (float64, error) {
+func ErrorL1(w *workload.Workload, a linalg.Operator, epsilon float64) (float64, error) {
 	if epsilon <= 0 {
 		return 0, fmt.Errorf("mm: epsilon = %g must be positive", epsilon)
 	}
-	inv, err := linalg.PseudoInverseSym(a.GramParallel(), 1e-11)
+	inv, err := linalg.PseudoInverseSym(linalg.OperatorGram(a), 1e-11)
 	if err != nil {
 		return 0, err
 	}
@@ -126,7 +128,7 @@ func ErrorL1(w *workload.Workload, a *linalg.Matrix, epsilon float64) (float64, 
 	if m == 0 {
 		return 0, errors.New("mm: empty workload")
 	}
-	return a.MaxColNormL1() * math.Sqrt(2*trace/m) / epsilon, nil
+	return linalg.MaxColNormL1Op(a) * math.Sqrt(2*trace/m) / epsilon, nil
 }
 
 // QueryErrors returns the analytic RMSE of each individual query of an

@@ -30,7 +30,10 @@ func (m *Mechanism) EstimateGaussianNonNegative(x []float64, p Privacy, r *rand.
 		y[i] += sigma * r.NormFloat64()
 	}
 	// Warm start from the unconstrained least-squares solution, clipped.
-	xhat := m.apinv.MulVec(y)
+	xhat, err := m.infer(y)
+	if err != nil {
+		return nil, err
+	}
 	for i, v := range xhat {
 		if v < 0 {
 			xhat[i] = 0
@@ -40,8 +43,9 @@ func (m *Mechanism) EstimateGaussianNonNegative(x []float64, p Privacy, r *rand.
 }
 
 // nnlsPolish runs projected gradient descent for min ‖Ax−y‖² over x ≥ 0,
-// with the step size set by a power-iteration bound on λmax(AᵀA).
-func nnlsPolish(a *linalg.Matrix, y, x0 []float64) []float64 {
+// with the step size set by a power-iteration bound on λmax(AᵀA). It only
+// needs matvecs, so it works for any strategy operator.
+func nnlsPolish(a linalg.Operator, y, x0 []float64) []float64 {
 	n := a.Cols()
 	x := append([]float64(nil), x0...)
 	// Power iteration for the Lipschitz constant 2·λmax(AᵀA).
@@ -52,7 +56,7 @@ func nnlsPolish(a *linalg.Matrix, y, x0 []float64) []float64 {
 	var lmax float64
 	for it := 0; it < 30; it++ {
 		av := a.MulVec(v)
-		w := a.TMulVec(av)
+		w := a.MulVecT(av)
 		var norm float64
 		for _, z := range w {
 			norm += z * z
@@ -75,7 +79,7 @@ func nnlsPolish(a *linalg.Matrix, y, x0 []float64) []float64 {
 		for i := range res {
 			res[i] -= y[i]
 		}
-		grad := a.TMulVec(res)
+		grad := a.MulVecT(res)
 		var moved float64
 		for i := range x {
 			nx := x[i] - step*grad[i]
@@ -102,18 +106,43 @@ func l1(v []float64) float64 {
 
 // QueryVariances returns the noise variance of each query answer of an
 // explicit workload under this mechanism: Var(w x̂) = σ²·‖wA⁺‖². Callers
-// can turn these into confidence intervals via ConfidenceInterval.
+// can turn these into confidence intervals via ConfidenceInterval. On the
+// matrix-free path the identity ‖wᵢA⁺‖² = wᵢᵀ(AᵀA)⁺wᵢ is evaluated with
+// one normal-equation CG solve per query.
 func (m *Mechanism) QueryVariances(w *workload.Workload, p Privacy) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if !w.Explicit() {
+		return nil, fmt.Errorf("mm: per-query variances need explicit workload rows; %q has %d queries, past the materialization cap", w.Name(), w.NumQueries())
+	}
 	sigma := p.GaussianSigma(m.sensL2)
-	wa := w.Matrix().Mul(m.apinv)
-	out := make([]float64, wa.Rows())
+	if m.apinv != nil {
+		wa := w.Matrix().Mul(m.apinv)
+		out := make([]float64, wa.Rows())
+		for i := range out {
+			var s float64
+			for _, v := range wa.Row(i) {
+				s += v * v
+			}
+			out[i] = sigma * sigma * s
+		}
+		return out, nil
+	}
+	wm := w.Matrix()
+	out := make([]float64, wm.Rows())
 	for i := range out {
+		wi := wm.Row(i)
+		z, err := linalg.SolveNormalCG(m.a, wi, linalg.CGOptions{})
+		if err != nil {
+			return nil, err
+		}
 		var s float64
-		for _, v := range wa.Row(i) {
-			s += v * v
+		for j, v := range wi {
+			s += v * z[j]
+		}
+		if s < 0 {
+			s = 0
 		}
 		out[i] = sigma * sigma * s
 	}

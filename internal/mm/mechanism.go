@@ -4,44 +4,101 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/workload"
 )
 
-// Mechanism is a prepared instance of the matrix mechanism for one strategy
-// matrix: the pseudo-inverse used for least-squares inference is computed
-// once and reused across databases, matching the paper's observation that
-// strategy selection and preprocessing are one-time costs per workload.
+// denseInferenceCap is the largest cell count for which a dense strategy
+// matrix gets an eagerly materialized pseudo-inverse. The pseudo-inverse
+// costs O(n³) once and O(m·n) per release; past the cap (or for any
+// structured operator) inference runs matrix-free through CGLS, which
+// needs only matvecs and no cubic preprocessing.
+const denseInferenceCap = 1024
+
+// Mechanism is a prepared instance of the matrix mechanism for one
+// strategy operator. Two inference paths exist:
+//
+//   - dense: for small dense strategies the Moore-Penrose pseudo-inverse
+//     is computed once and reused across releases (the paper's one-time
+//     preprocessing observation);
+//   - matrix-free: for structured operators (Kronecker, sparse, analytic)
+//     and large dense strategies, each release solves the least-squares
+//     problem by CGLS, touching nothing bigger than length-m/n vectors.
+//
+// The path is chosen automatically in NewMechanismOp.
 type Mechanism struct {
-	a      *linalg.Matrix
-	apinv  *linalg.Matrix
+	a      linalg.Operator
+	dense  *linalg.Matrix // a as dense, when that is its representation
+	apinv  *linalg.Matrix // dense pseudo-inverse; nil selects CGLS
 	sensL2 float64
+
+	l1Once sync.Once
 	sensL1 float64
 }
 
-// NewMechanism prepares a mechanism for the given strategy matrix.
+// NewMechanism prepares a mechanism for a dense strategy matrix. It is
+// NewMechanismOp with the dense representation.
 func NewMechanism(a *linalg.Matrix) (*Mechanism, error) {
-	pinv, err := linalg.PseudoInverse(a)
-	if err != nil {
-		return nil, err
-	}
-	return &Mechanism{
-		a:      a,
-		apinv:  pinv,
-		sensL2: a.MaxColNorm2(),
-		sensL1: a.MaxColNormL1(),
-	}, nil
+	return NewMechanismOp(a)
 }
 
-// Strategy returns the strategy matrix.
-func (m *Mechanism) Strategy() *linalg.Matrix { return m.a }
+// NewMechanismOp prepares a mechanism for any strategy operator, selecting
+// the inference path by representation and size.
+func NewMechanismOp(a linalg.Operator) (*Mechanism, error) {
+	m := &Mechanism{a: a, sensL2: linalg.MaxColNorm2Op(a)}
+	if d, ok := a.(*linalg.Matrix); ok {
+		m.dense = d
+		if d.Cols() <= denseInferenceCap {
+			pinv, err := linalg.PseudoInverse(d)
+			if err != nil {
+				return nil, err
+			}
+			m.apinv = pinv
+		}
+	}
+	return m, nil
+}
+
+// Strategy returns the strategy operator.
+func (m *Mechanism) Strategy() linalg.Operator { return m.a }
+
+// StrategyDense returns the strategy as a dense matrix, materializing a
+// structured operator when rows×cols is affordable.
+func (m *Mechanism) StrategyDense() (*linalg.Matrix, error) {
+	if m.dense != nil {
+		return m.dense, nil
+	}
+	if m.a.Cols() > 0 && m.a.Rows() > linalg.MaterializeCap/m.a.Cols() {
+		return nil, fmt.Errorf("mm: strategy too large to materialize (%d x %d)", m.a.Rows(), m.a.Cols())
+	}
+	return linalg.ToDense(m.a), nil
+}
+
+// MatrixFree reports whether inference runs through CGLS instead of a
+// materialized pseudo-inverse.
+func (m *Mechanism) MatrixFree() bool { return m.apinv == nil }
 
 // SensitivityL2 returns ‖A‖₂.
 func (m *Mechanism) SensitivityL2() float64 { return m.sensL2 }
 
-// SensitivityL1 returns ‖A‖₁.
-func (m *Mechanism) SensitivityL1() float64 { return m.sensL1 }
+// SensitivityL1 returns ‖A‖₁. For structured operators without an analytic
+// L1 column-norm form it is computed on first use by probing columns.
+func (m *Mechanism) SensitivityL1() float64 {
+	m.l1Once.Do(func() { m.sensL1 = linalg.MaxColNormL1Op(m.a) })
+	return m.sensL1
+}
+
+// infer computes the least-squares estimate x̂ from noisy strategy answers
+// y: through the pseudo-inverse when it is materialized, by CGLS
+// otherwise.
+func (m *Mechanism) infer(y []float64) ([]float64, error) {
+	if m.apinv != nil {
+		return m.apinv.MulVec(y), nil
+	}
+	return linalg.SolveCGLS(m.a, y, linalg.CGOptions{})
+}
 
 // EstimateGaussian runs one (ε,δ)-differentially private release: it
 // answers the strategy queries with the Gaussian mechanism and returns the
@@ -60,7 +117,7 @@ func (m *Mechanism) EstimateGaussian(x []float64, p Privacy, r *rand.Rand) ([]fl
 	for i := range y {
 		y[i] += sigma * r.NormFloat64()
 	}
-	return m.apinv.MulVec(y), nil
+	return m.infer(y)
 }
 
 // EstimateLaplace is the pure ε-differential privacy analogue using Laplace
@@ -72,22 +129,24 @@ func (m *Mechanism) EstimateLaplace(x []float64, epsilon float64, r *rand.Rand) 
 	if len(x) != m.a.Cols() {
 		return nil, fmt.Errorf("mm: data vector has %d cells, strategy expects %d", len(x), m.a.Cols())
 	}
-	b := m.sensL1 / epsilon
+	b := m.SensitivityL1() / epsilon
 	y := m.a.MulVec(x)
 	for i := range y {
 		y[i] += laplace(r, b)
 	}
-	return m.apinv.MulVec(y), nil
+	return m.infer(y)
 }
 
-// AnswerGaussian answers an explicit workload in one shot: private
-// estimate followed by W x̂ (step 3 of Prop. 3).
+// AnswerGaussian answers a workload in one shot: private estimate followed
+// by W x̂ (step 3 of Prop. 3). The workload answers go through its
+// operator, so structured workloads of millions of queries are answered
+// without materializing anything.
 func (m *Mechanism) AnswerGaussian(w *workload.Workload, x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
 	xhat, err := m.EstimateGaussian(x, p, r)
 	if err != nil {
 		return nil, err
 	}
-	return w.Matrix().MulVec(xhat), nil
+	return w.MulQueries(xhat), nil
 }
 
 // Gaussian is the plain Gaussian mechanism of Prop. 2: independent noise
@@ -98,7 +157,7 @@ func Gaussian(w *workload.Workload, x []float64, p Privacy, r *rand.Rand) ([]flo
 		return nil, err
 	}
 	sigma := p.GaussianSigma(w.SensitivityL2())
-	y := w.Matrix().MulVec(x)
+	y := w.MulQueries(x)
 	for i := range y {
 		y[i] += sigma * r.NormFloat64()
 	}

@@ -4,13 +4,24 @@
 // and each release against a dataset consumes privacy budget tracked by a
 // per-dataset ledger (sequential composition).
 //
+// Strategy selection scales with the domain: small domains get the exact
+// Eigen-Design; product-form domains past the dense cap use the factored
+// principal-vector design; everything else large falls back to the
+// hierarchical operator strategy. All three paths answer through
+// matrix-free inference, so workloads like allrange:2048 (2.1M queries)
+// are designed and answered without materializing any dense matrix.
+//
 // Endpoints (JSON):
 //
 //	POST /design    {"workload": "allrange:8x16"} or {"rows": [[...]], "shape": [8,16]}
-//	                → {"strategy": id, "expectedError": ..., "lowerBound": ...}
+//	                → {"strategy": id, "queries": m, "cells": n, "form": "eigen|principal|hierarchical",
+//	                   "expectedError": ..., "lowerBound": ...}   (error fields 0 when skipped at scale)
 //	POST /answer    {"strategy": id, "dataset": name, "histogram": [...],
-//	                 "epsilon": 0.5, "delta": 1e-4, "seed": 7}
+//	                 "epsilon": 0.5, "delta": 1e-4, "seed": 7, "mode": "answers"|"estimate"}
 //	                → {"answers": [...], "ledger": {"epsilon": ..., "delta": ...}}
+//	                mode "estimate" returns the n-cell private histogram
+//	                estimate instead of the m workload answers — the right
+//	                choice when m is in the millions.
 //	GET  /ledger    → {"<dataset>": {"epsilon": ..., "delta": ...}, ...}
 package server
 
@@ -25,13 +36,36 @@ import (
 	"adaptivemm/internal/domain"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/strategy"
 	"adaptivemm/internal/wio"
 	"adaptivemm/internal/workload"
 )
 
+// denseDesignCap is the largest cell count for which the server runs the
+// exact dense Eigen-Design (O(n³) eigendecomposition). Past it a
+// structured strategy is selected instead.
+const denseDesignCap = 512
+
+// analysisCap is the largest cell count for which the server computes the
+// analytic expected error and lower bound at design time (both need an
+// O(n³) dense eigendecomposition); past it the fields are reported as 0.
+const analysisCap = 512
+
+// principalK is the number of individually weighted eigen-queries for the
+// factored principal-vector design on large product domains.
+const principalK = 16
+
+// maxAnswerRows caps how many per-query answers one /answer request may
+// compute and serialize. Larger workloads must use mode "estimate" (the
+// n-cell histogram answers every query by post-processing anyway).
+const maxAnswerRows = 1 << 20
+
 // Server holds designed strategies and the per-dataset privacy ledger.
+// Reads (/answer strategy lookups, /ledger) take the read lock, so
+// concurrent releases and ledger inspections never serialize behind a
+// long-running /design.
 type Server struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	nextID     int
 	strategies map[string]*entry
 	ledger     map[string]Budget
@@ -80,9 +114,13 @@ type designRequest struct {
 }
 
 type designResponse struct {
-	Strategy      string  `json:"strategy"`
-	Queries       int     `json:"queries"`
-	Cells         int     `json:"cells"`
+	Strategy string `json:"strategy"`
+	Queries  int    `json:"queries"`
+	Cells    int    `json:"cells"`
+	// Form reports which design path was selected: "eigen" (exact dense),
+	// "principal" (factored Kronecker) or "hierarchical" (structured
+	// fallback).
+	Form          string  `json:"form"`
 	ExpectedError float64 `json:"expectedError"`
 	LowerBound    float64 `json:"lowerBound"`
 }
@@ -102,12 +140,17 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := core.Design(wl, core.Options{})
+	if !wl.Answerable() {
+		httpError(w, http.StatusUnprocessableEntity, "workload %q is analyzable only, not answerable", wl.Name())
+		return
+	}
+
+	op, form, eigenvalues, err := s.selectStrategy(wl)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "design failed: %v", err)
 		return
 	}
-	mech, err := mm.NewMechanism(res.Strategy)
+	mech, err := mm.NewMechanismOp(op)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "mechanism: %v", err)
 		return
@@ -116,12 +159,17 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	if p.Epsilon == 0 {
 		p = mm.Privacy{Epsilon: 0.5, Delta: 1e-4}
 	}
-	expected, err := mm.Error(wl, res.Strategy, p)
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "error analysis: %v", err)
-		return
+	var expected, lb float64
+	if wl.Cells() <= analysisCap {
+		expected, err = mm.Error(wl, op, p)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "error analysis: %v", err)
+			return
+		}
 	}
-	lb := mm.LowerBoundFromEigenvalues(res.Eigenvalues, wl.NumQueries(), p)
+	if eigenvalues != nil {
+		lb = mm.LowerBoundFromEigenvalues(eigenvalues, wl.NumQueries(), p)
+	}
 
 	s.mu.Lock()
 	s.nextID++
@@ -133,9 +181,29 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		Strategy:      id,
 		Queries:       wl.NumQueries(),
 		Cells:         wl.Cells(),
+		Form:          form,
 		ExpectedError: expected,
 		LowerBound:    lb,
 	})
+}
+
+// selectStrategy picks the design path by domain size and structure.
+func (s *Server) selectStrategy(wl *workload.Workload) (linalg.Operator, string, []float64, error) {
+	if wl.Cells() <= denseDesignCap {
+		res, err := core.Design(wl, core.Options{})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return res.Op, "eigen", res.Eigenvalues, nil
+	}
+	if factors, ok := wl.GramFactors(); ok && len(factors) >= 2 {
+		res, err := core.PrincipalVectors(wl, principalK, core.Options{})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return res.Op, "principal", res.Eigenvalues, nil
+	}
+	return strategy.HierarchicalOperator(wl.Shape(), 2), "hierarchical", nil, nil
 }
 
 func (s *Server) buildWorkload(req *designRequest) (*workload.Workload, error) {
@@ -172,6 +240,9 @@ type answerRequest struct {
 	Epsilon   float64   `json:"epsilon"`
 	Delta     float64   `json:"delta"`
 	Seed      int64     `json:"seed,omitempty"`
+	// Mode selects the release payload: "answers" (default) returns the m
+	// workload answers, "estimate" the n-cell histogram estimate.
+	Mode string `json:"mode,omitempty"`
 }
 
 type answerResponse struct {
@@ -193,20 +264,20 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "dataset name required for budget accounting")
 		return
 	}
+	if req.Mode != "" && req.Mode != "answers" && req.Mode != "estimate" {
+		httpError(w, http.StatusBadRequest, "mode %q not recognized (want answers or estimate)", req.Mode)
+		return
+	}
 	p := mm.Privacy{Epsilon: req.Epsilon, Delta: req.Delta}
 	if err := p.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	ent, ok := s.strategies[req.Strategy]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown strategy %q", req.Strategy)
-		return
-	}
-	if !ent.w.Explicit() {
-		httpError(w, http.StatusUnprocessableEntity, "workload too large to answer explicitly; request Estimate-style releases instead")
 		return
 	}
 	if len(req.Histogram) != ent.w.Cells() {
@@ -220,7 +291,20 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		seed = s.seedSalt + 0x5eed
 		s.mu.Unlock()
 	}
-	ans, err := ent.mech.AnswerGaussian(ent.w, req.Histogram, p, rand.New(rand.NewSource(seed)))
+	rng := rand.New(rand.NewSource(seed))
+	var ans []float64
+	var err error
+	if req.Mode == "estimate" {
+		ans, err = ent.mech.EstimateGaussian(req.Histogram, p, rng)
+	} else {
+		if ent.w.NumQueries() > maxAnswerRows {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"workload has %d queries, past the %d-answer response cap; request mode \"estimate\" instead",
+				ent.w.NumQueries(), maxAnswerRows)
+			return
+		}
+		ans, err = ent.mech.AnswerGaussian(ent.w, req.Histogram, p, rng)
+	}
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -241,12 +325,12 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	out := make(map[string]Budget, len(s.ledger))
 	for k, v := range s.ledger {
 		out[k] = v
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, out)
 }
 

@@ -3,8 +3,10 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 )
 
@@ -212,5 +214,207 @@ func TestDeterministicSeed(t *testing.T) {
 		if a1.Answers[i] != a2.Answers[i] {
 			t.Fatal("same seed produced different answers")
 		}
+	}
+}
+
+// TestLargeDomainHierarchicalDesign exercises the scalability path the
+// dense pipeline refused: all range queries over 2048 cells (~2.1M rows)
+// are designed with the structured hierarchical strategy and answered in
+// estimate mode, all matrix-free.
+func TestLargeDomainHierarchicalDesign(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/design", map[string]any{"workload": "allrange:2048"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("design status %d: %s", resp.StatusCode, body)
+	}
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Cells != 2048 || d.Queries != 2048*2049/2 {
+		t.Fatalf("design response %+v", d)
+	}
+	if d.Form != "hierarchical" {
+		t.Fatalf("form = %q, want hierarchical", d.Form)
+	}
+
+	hist := make([]float64, 2048)
+	for i := range hist {
+		hist[i] = float64(i % 13)
+	}
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "big", "histogram": hist,
+		"epsilon": 0.5, "delta": 1e-4, "seed": 5, "mode": "estimate",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer status %d: %s", resp.StatusCode, body)
+	}
+	var a answerResponse
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Answers) != 2048 {
+		t.Fatalf("estimate length %d, want 2048", len(a.Answers))
+	}
+
+	// The default answers mode is capped: 2.1M per-query answers would be
+	// an unbounded response, so the server must refuse with guidance.
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "big", "histogram": hist,
+		"epsilon": 0.5, "delta": 1e-4, "seed": 6,
+	})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("uncapped answers mode: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestLargeProductDomainPrincipalDesign checks that 2-D product workloads
+// past the dense cap get the factored principal-vector design.
+func TestLargeProductDomainPrincipalDesign(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/design", map[string]any{"workload": "allrange:48x48"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("design status %d: %s", resp.StatusCode, body)
+	}
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Form != "principal" {
+		t.Fatalf("form = %q, want principal", d.Form)
+	}
+	if d.LowerBound <= 0 {
+		t.Fatalf("expected a positive lower bound from the factored eigenvalues, got %+v", d)
+	}
+
+	hist := make([]float64, 48*48)
+	for i := range hist {
+		hist[i] = float64(i % 5)
+	}
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "big2d", "histogram": hist,
+		"epsilon": 0.5, "delta": 1e-4, "seed": 6, "mode": "estimate",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer status %d: %s", resp.StatusCode, body)
+	}
+	var a answerResponse
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Answers) != 48*48 {
+		t.Fatalf("estimate length %d", len(a.Answers))
+	}
+}
+
+// TestConcurrentAnswersAndLedger hammers /answer and /ledger in parallel;
+// with the read-write lock, reads proceed concurrently and the ledger
+// total must still come out exact. Run under -race in CI.
+func TestConcurrentAnswersAndLedger(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	_, body := post(t, ts, "/design", map[string]any{"workload": "identity:16"})
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]float64, 16)
+
+	// postQuiet avoids t.Fatal off the test goroutine: failures flow
+	// through the errs channel instead.
+	postQuiet := func(path string, body any) (int, []byte, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		if _, err := out.ReadFrom(resp.Body); err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, out.Bytes(), nil
+	}
+
+	const workers = 8
+	const releases = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < releases; i++ {
+				code, body, err := postQuiet("/answer", map[string]any{
+					"strategy": d.Strategy, "dataset": "shared", "histogram": hist,
+					"epsilon": 0.1, "delta": 1e-5, "seed": int64(g*1000 + i + 1),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("answer status %d: %s", code, body)
+					return
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < releases; i++ {
+				resp, err := http.Get(ts.URL + "/ledger")
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ledger map[string]Budget
+	if err := json.NewDecoder(resp.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 * workers * releases
+	if got := ledger["shared"].Epsilon; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("ledger epsilon = %g, want %g", got, want)
+	}
+}
+
+// TestAnswerModeValidation rejects unknown release modes.
+func TestAnswerModeValidation(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	_, body := post(t, ts, "/design", map[string]any{"workload": "identity:4"})
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "d", "histogram": []float64{1, 2, 3, 4},
+		"epsilon": 1, "delta": 1e-4, "mode": "bogus",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus mode status %d", resp.StatusCode)
 	}
 }

@@ -110,11 +110,35 @@ func Hierarchical(shape domain.Shape, branch int) *Strategy {
 	}
 }
 
-// hierarchical1D enumerates the tree nodes over [0,d) breadth-first.
-func hierarchical1D(d, branch int) *linalg.Matrix {
-	type node struct{ lo, hi int } // inclusive
-	var rows []node
-	queue := []node{{0, d - 1}}
+// HierarchicalOperator is the Hierarchical strategy in matrix-free form:
+// per-dimension CSR tree matrices (O(d log d) nonzeros each) combined by
+// a Kronecker operator. It scales to domains far past the dense cap — the
+// 1-D tree on 2048 cells holds ~4k rows and ~25k nonzeros — and is the
+// structured strategy the server falls back to for very large domains,
+// where it is near-optimal for range workloads (Sec 5).
+func HierarchicalOperator(shape domain.Shape, branch int) linalg.Operator {
+	if branch < 2 {
+		panic(fmt.Sprintf("strategy: branching factor %d < 2", branch))
+	}
+	parts := make([]linalg.Operator, len(shape))
+	for i, d := range shape {
+		parts[i] = hierarchical1DSparse(d, branch)
+	}
+	return linalg.NewKronOp(parts...)
+}
+
+// IdentityOperator is the Identity strategy in O(1)-memory form.
+func IdentityOperator(shape domain.Shape) linalg.Operator {
+	return linalg.Eye(shape.Size())
+}
+
+// treeNode is one interval of the b-ary partition tree.
+type treeNode struct{ lo, hi int } // inclusive
+
+// hierarchicalNodes enumerates the tree nodes over [0,d) breadth-first.
+func hierarchicalNodes(d, branch int) []treeNode {
+	var rows []treeNode
+	queue := []treeNode{{0, d - 1}}
 	for len(queue) > 0 {
 		nd := queue[0]
 		queue = queue[1:]
@@ -132,22 +156,35 @@ func hierarchical1D(d, branch int) *linalg.Matrix {
 		extra := size % parts
 		at := nd.lo
 		for p := 0; p < parts; p++ {
-			len := base
+			step := base
 			if p < extra {
-				len++
+				step++
 			}
-			queue = append(queue, node{at, at + len - 1})
-			at += len
+			queue = append(queue, treeNode{at, at + step - 1})
+			at += step
 		}
 	}
-	m := linalg.New(len(rows), d)
-	for i, nd := range rows {
+	return rows
+}
+
+func hierarchical1D(d, branch int) *linalg.Matrix {
+	nodes := hierarchicalNodes(d, branch)
+	m := linalg.New(len(nodes), d)
+	for i, nd := range nodes {
 		row := m.Row(i)
 		for j := nd.lo; j <= nd.hi; j++ {
 			row[j] = 1
 		}
 	}
 	return m
+}
+
+func hierarchical1DSparse(d, branch int) *linalg.Sparse {
+	b := linalg.NewSparseBuilder(d)
+	for _, nd := range hierarchicalNodes(d, branch) {
+		b.AppendRangeRow(nd.lo, nd.hi, 1)
+	}
+	return b.Build()
 }
 
 // dropZeroRows removes rows that are identically zero.

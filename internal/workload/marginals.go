@@ -52,27 +52,68 @@ func rangeMarginalMatrix(shape domain.Shape, attrs []int) *linalg.Matrix {
 	return linalg.KroneckerAll(parts...)
 }
 
-// Marginals returns the workload of all k-way marginals for the given k.
+// marginalOperator is MarginalMatrix in structured form: the Kronecker
+// product of identity operators (margin attributes) and 1×d total rows
+// (the rest). Nothing dense is materialized.
+func marginalOperator(shape domain.Shape, attrs []int) linalg.Operator {
+	inSet := make([]bool, len(shape))
+	for _, a := range attrs {
+		if a < 0 || a >= len(shape) {
+			panic(fmt.Sprintf("workload: marginal attribute %d out of range for %v", a, shape))
+		}
+		inSet[a] = true
+	}
+	parts := make([]linalg.Operator, len(shape))
+	for i, d := range shape {
+		if inSet[i] {
+			parts[i] = linalg.Eye(d)
+		} else {
+			parts[i] = onesRowOp(d)
+		}
+	}
+	return linalg.NewKronOp(parts...)
+}
+
+// rangeMarginalOperator is rangeMarginalMatrix in structured form, with
+// interval operators on the margin attributes.
+func rangeMarginalOperator(shape domain.Shape, attrs []int) linalg.Operator {
+	inSet := make([]bool, len(shape))
+	for _, a := range attrs {
+		inSet[a] = true
+	}
+	parts := make([]linalg.Operator, len(shape))
+	for i, d := range shape {
+		if inSet[i] {
+			parts[i] = linalg.NewIntervalsOp(d)
+		} else {
+			parts[i] = onesRowOp(d)
+		}
+	}
+	return linalg.NewKronOp(parts...)
+}
+
+// Marginals returns the workload of all k-way marginals for the given k,
+// as a stack of structured marginal operators.
 func Marginals(shape domain.Shape, k int) *Workload {
 	subsets := subsetsOfSize(len(shape), k)
 	if len(subsets) == 0 {
 		panic(fmt.Sprintf("workload: no %d-way marginals on %d dims", k, len(shape)))
 	}
-	mats := make([]*linalg.Matrix, len(subsets))
-	for i, s := range subsets {
-		mats[i] = MarginalMatrix(shape, s)
-	}
-	return FromMatrix(fmt.Sprintf("%d-way marginal %s", k, shape), shape, linalg.StackRows(mats...))
+	return marginalSetOp(fmt.Sprintf("%d-way marginal %s", k, shape), shape, subsets)
 }
 
 // MarginalSet returns the workload consisting of the marginals for the
 // given attribute subsets.
 func MarginalSet(name string, shape domain.Shape, subsets [][]int) *Workload {
-	mats := make([]*linalg.Matrix, len(subsets))
+	return marginalSetOp(name, shape, subsets)
+}
+
+func marginalSetOp(name string, shape domain.Shape, subsets [][]int) *Workload {
+	ops := make([]linalg.Operator, len(subsets))
 	for i, s := range subsets {
-		mats[i] = MarginalMatrix(shape, s)
+		ops[i] = marginalOperator(shape, s)
 	}
-	return FromMatrix(name, shape, linalg.StackRows(mats...))
+	return FromOperator(name, shape, linalg.StackOps(ops...))
 }
 
 // RangeMarginals returns the workload of all k-way range marginals.
@@ -81,23 +122,21 @@ func RangeMarginals(shape domain.Shape, k int) *Workload {
 	if len(subsets) == 0 {
 		panic(fmt.Sprintf("workload: no %d-way range marginals on %d dims", k, len(shape)))
 	}
-	mats := make([]*linalg.Matrix, len(subsets))
+	ops := make([]linalg.Operator, len(subsets))
 	for i, s := range subsets {
-		mats[i] = rangeMarginalMatrix(shape, s)
+		ops[i] = rangeMarginalOperator(shape, s)
 	}
-	return FromMatrix(fmt.Sprintf("%d-way range marginal %s", k, shape), shape, linalg.StackRows(mats...))
+	return FromOperator(fmt.Sprintf("%d-way range marginal %s", k, shape), shape, linalg.StackOps(ops...))
 }
 
 // AllMarginals returns the union of k-way marginals for every k from 0
 // (the total) to Dims (the identity).
 func AllMarginals(shape domain.Shape) *Workload {
-	var mats []*linalg.Matrix
+	var subsets [][]int
 	for k := 0; k <= len(shape); k++ {
-		for _, s := range subsetsOfSize(len(shape), k) {
-			mats = append(mats, MarginalMatrix(shape, s))
-		}
+		subsets = append(subsets, subsetsOfSize(len(shape), k)...)
 	}
-	return FromMatrix("all marginal "+shape.String(), shape, linalg.StackRows(mats...))
+	return marginalSetOp("all marginal "+shape.String(), shape, subsets)
 }
 
 // RandomMarginals samples count attribute subsets uniformly at random
@@ -131,7 +170,7 @@ func RandomMarginals(shape domain.Shape, count int, r *rand.Rand) (*Workload, []
 // the union of the corresponding range-marginal workloads.
 func RandomRangeMarginals(shape domain.Shape, count int, r *rand.Rand) *Workload {
 	dims := len(shape)
-	mats := make([]*linalg.Matrix, 0, count)
+	ops := make([]linalg.Operator, 0, count)
 	for q := 0; q < count; q++ {
 		var s []int
 		for {
@@ -145,10 +184,10 @@ func RandomRangeMarginals(shape domain.Shape, count int, r *rand.Rand) *Workload
 				break
 			}
 		}
-		mats = append(mats, rangeMarginalMatrix(shape, s))
+		ops = append(ops, rangeMarginalOperator(shape, s))
 	}
-	return FromMatrix(fmt.Sprintf("random range marginal %s (m=%d)", shape, count),
-		shape, linalg.StackRows(mats...))
+	return FromOperator(fmt.Sprintf("random range marginal %s (m=%d)", shape, count),
+		shape, linalg.StackOps(ops...))
 }
 
 // subsetsOfSize enumerates all subsets of {0..n-1} with exactly k elements,
@@ -186,4 +225,11 @@ func onesRow(d int) *linalg.Matrix {
 		row[j] = 1
 	}
 	return m
+}
+
+// onesRowOp is the 1×d total-count row in sparse form.
+func onesRowOp(d int) linalg.Operator {
+	b := linalg.NewSparseBuilder(d)
+	b.AppendRangeRow(0, d-1, 1)
+	return b.Build()
 }

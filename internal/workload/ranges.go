@@ -9,24 +9,20 @@ import (
 )
 
 // AllRange returns the workload of all axis-aligned range queries over the
-// shape. When the full matrix is too large to materialize (it has
-// Π dᵢ(dᵢ+1)/2 rows), the workload is implicit: its Gram matrix is computed
-// analytically as the Kronecker product of the 1-dimensional all-range Gram
-// matrices, which is exact because a multi-dimensional range is the
-// Kronecker product of per-dimension intervals.
+// shape as a structured operator: the Kronecker product of per-dimension
+// interval operators (a multi-dimensional range is the Kronecker product
+// of per-dimension intervals). The explicit matrix — Π dᵢ(dᵢ+1)/2 rows —
+// is never built; answering runs through the operator in O(rows), and the
+// Gram matrix is the Kronecker product of analytic 1-D all-range Grams.
 func AllRange(shape domain.Shape) *Workload {
 	name := "all range " + shape.String()
-	m := shape.NumRanges()
 	grams := make([]*linalg.Matrix, len(shape))
+	parts := make([]linalg.Operator, len(shape))
 	for i, d := range shape {
 		grams[i] = allRangeGram1D(d)
+		parts[i] = linalg.NewIntervalsOp(d)
 	}
-	var w *Workload
-	if m*shape.Size() <= maxExplicitEntries {
-		w = FromMatrix(name, shape, allRangeMatrix(shape))
-	} else {
-		w = fromGram(name, shape, m, linalg.KroneckerAll(grams...))
-	}
+	w := FromOperator(name, shape, linalg.NewKronOp(parts...))
 	w.gramFactors = grams
 	return w
 }
@@ -126,16 +122,10 @@ func fillRange(shape domain.Shape, rng domain.Range, row []float64) {
 
 // Prefix returns the 1-D cumulative distribution (CDF) workload: query i
 // sums cells 0..i. Its first cell participates in all n queries, giving the
-// highly skewed column-norm profile discussed in Sec 5.1.
+// highly skewed column-norm profile discussed in Sec 5.1. The workload is
+// the analytic prefix-sum operator — O(1) memory, O(n) answering.
 func Prefix(n int) *Workload {
-	m := linalg.New(n, n)
-	for i := 0; i < n; i++ {
-		row := m.Row(i)
-		for j := 0; j <= i; j++ {
-			row[j] = 1
-		}
-	}
-	return FromMatrix(fmt.Sprintf("1D CDF [%d]", n), domain.MustShape(n), m)
+	return FromOperator(fmt.Sprintf("1D CDF [%d]", n), domain.MustShape(n), linalg.NewPrefixOp(n))
 }
 
 // Predicate samples count uniformly random predicate (0/1) queries: each
