@@ -59,6 +59,17 @@ import (
 // required for the Gaussian mechanism this package is built on.
 type Privacy = mm.Privacy
 
+// NoiseSource is the randomness a release draws its noise from. A
+// deterministic *rand.Rand satisfies it for reproducible experiments;
+// production releases should use NewCryptoNoiseSource, whose stream is
+// unpredictable across processes and restarts — noise seeded from a
+// counter or the clock is predictable and voids the privacy guarantee.
+type NoiseSource = mm.NoiseSource
+
+// NewCryptoNoiseSource returns a production noise source seeded from the
+// operating system's CSPRNG.
+func NewCryptoNoiseSource() NoiseSource { return mm.NewCryptoSeededSource() }
+
 // Workload is a set of linear counting queries over a multi-dimensional
 // histogram. Construct instances with the builders below.
 type Workload = workload.Workload
@@ -93,14 +104,14 @@ func (s *Strategy) Matrix() [][]float64 {
 // Answer performs one (ε,δ)-differentially private release: it answers the
 // strategy queries on the histogram x with Gaussian noise and derives
 // consistent answers to every query of w by least squares.
-func (s *Strategy) Answer(w *Workload, x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+func (s *Strategy) Answer(w *Workload, x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	return s.mech.AnswerGaussian(w, x, p, r)
 }
 
 // Estimate returns the differentially private estimate x̂ of the full
 // histogram, from which callers can answer arbitrary linear queries
 // consistently (all derived answers share the one privacy budget).
-func (s *Strategy) Estimate(x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+func (s *Strategy) Estimate(x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	return s.mech.EstimateGaussian(x, p, r)
 }
 

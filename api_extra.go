@@ -1,8 +1,6 @@
 package adaptivemm
 
 import (
-	"math/rand"
-
 	"adaptivemm/internal/core"
 	"adaptivemm/internal/domain"
 	"adaptivemm/internal/linalg"
@@ -60,7 +58,7 @@ func DesignL1(w *Workload, basisRows [][]float64) (*Strategy, error) {
 
 // AnswerLaplace performs one pure ε-differentially private release using
 // Laplace noise calibrated to the strategy's L1 sensitivity.
-func (s *Strategy) AnswerLaplace(w *Workload, x []float64, epsilon float64, r *rand.Rand) ([]float64, error) {
+func (s *Strategy) AnswerLaplace(w *Workload, x []float64, epsilon float64, r NoiseSource) ([]float64, error) {
 	xhat, err := s.mech.EstimateLaplace(x, epsilon, r)
 	if err != nil {
 		return nil, err
@@ -77,7 +75,7 @@ func (s *Strategy) ErrorL1(w *Workload, epsilon float64) (float64, error) {
 // EstimateNonNegative is Estimate followed by projection onto non-negative
 // cell counts (free post-processing that often reduces error on sparse
 // data).
-func (s *Strategy) EstimateNonNegative(x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+func (s *Strategy) EstimateNonNegative(x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	return s.mech.EstimateGaussianNonNegative(x, p, r)
 }
 

@@ -11,6 +11,12 @@
 // Each experiment prints one or more tables mirroring the corresponding
 // artifact in the paper's Sec 5. See EXPERIMENTS.md for a paper-vs-measured
 // summary.
+//
+// A serving-throughput mode benchmarks the release engine's batch
+// /release endpoint against an in-process server and appends the
+// measurement to a BENCH_*.json trajectory:
+//
+//	ambench -releasebench allrange:1024 -requests 512 -benchout BENCH_release.json
 package main
 
 import (
@@ -31,8 +37,23 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed for workload sampling and noise")
 		trials = flag.Int("trials", 3, "Monte-Carlo trials for relative-error experiments")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+
+		releaseBench = flag.String("releasebench", "", "workload spec: benchmark the batch /release endpoint instead of running experiments")
+		requests     = flag.Int("requests", 256, "total releases for -releasebench")
+		batch        = flag.Int("batch", 64, "releases per /release call for -releasebench")
+		parallel     = flag.Int("parallel", 8, "server-side parallelism for -releasebench")
+		benchMode    = flag.String("benchmode", "estimate", "release mode for -releasebench: answers | estimate")
+		benchOut     = flag.String("benchout", "BENCH_release.json", "trajectory file for -releasebench results (empty to skip writing)")
 	)
 	flag.Parse()
+
+	if *releaseBench != "" {
+		if err := runReleaseBench(*releaseBench, *benchMode, *requests, *batch, *parallel, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ambench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"adaptivemm/internal/server"
+)
+
+// releaseBenchResult is one throughput measurement of the batch /release
+// endpoint, appended to a BENCH_*.json trajectory so successive PRs can
+// track serving performance.
+type releaseBenchResult struct {
+	Spec              string  `json:"spec"`
+	Mode              string  `json:"mode"`
+	Requests          int     `json:"requests"`
+	Batch             int     `json:"batch"`
+	Parallelism       int     `json:"parallelism"`
+	Seconds           float64 `json:"seconds"`
+	ReleasesPerSecond float64 `json:"releasesPerSecond"`
+}
+
+// runReleaseBench drives the batch /release endpoint of an in-process
+// release engine: design the spec once (cache-hot), register one dataset,
+// then push `requests` releases through in batches of `batch` with the
+// given server-side parallelism, measuring end-to-end HTTP throughput.
+func runReleaseBench(spec, mode string, requests, batch, parallelism int, outPath string) error {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) (map[string]any, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %d: %v", path, resp.StatusCode, out["error"])
+		}
+		return out, nil
+	}
+
+	design, err := post("/design", map[string]any{"workload": spec})
+	if err != nil {
+		return err
+	}
+	strategyID, _ := design["strategy"].(string)
+	cells := int(design["cells"].(float64))
+	hist := make([]float64, cells)
+	for i := range hist {
+		hist[i] = float64(i % 17)
+	}
+	if _, err := post("/datasets", map[string]any{"name": "bench", "histogram": hist}); err != nil {
+		return err
+	}
+
+	item := map[string]any{
+		"strategy": strategyID, "dataset": "bench",
+		"epsilon": 0.01, "delta": 1e-6, "mode": mode,
+	}
+	start := time.Now()
+	done := 0
+	for done < requests {
+		n := batch
+		if requests-done < n {
+			n = requests - done
+		}
+		releases := make([]map[string]any, n)
+		for i := range releases {
+			releases[i] = item
+		}
+		out, err := post("/release", map[string]any{"releases": releases, "parallelism": parallelism})
+		if err != nil {
+			return err
+		}
+		if failed, _ := out["failed"].(float64); failed != 0 {
+			return fmt.Errorf("release bench: %v of %d releases failed", failed, n)
+		}
+		done += n
+	}
+	elapsed := time.Since(start).Seconds()
+
+	res := releaseBenchResult{
+		Spec:        spec,
+		Mode:        mode,
+		Requests:    requests,
+		Batch:       batch,
+		Parallelism: parallelism,
+		Seconds:     elapsed,
+	}
+	if elapsed > 0 {
+		res.ReleasesPerSecond = float64(requests) / elapsed
+	}
+	fmt.Printf("release bench: %s (%s) — %d releases in %.3fs → %.1f releases/s\n",
+		spec, mode, requests, elapsed, res.ReleasesPerSecond)
+	if outPath == "" {
+		return nil
+	}
+	return appendBenchResult(outPath, res)
+}
+
+// appendBenchResult appends one measurement to a JSON-array trajectory
+// file, creating it when absent.
+func appendBenchResult(path string, res releaseBenchResult) error {
+	var results []releaseBenchResult
+	if raw, err := os.ReadFile(path); err == nil {
+		// A corrupt or foreign file should not be silently destroyed.
+		if err := json.Unmarshal(raw, &results); err != nil {
+			return fmt.Errorf("bench trajectory %s exists but is not a result array: %v", path, err)
+		}
+	}
+	results = append(results, res)
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,12 +1,24 @@
-// Command amserve runs the batch query-answering HTTP service: analysts
-// POST a workload to /design once, then request differentially private
-// releases from /answer; the server tracks cumulative privacy spend per
-// dataset at /ledger.
+// Command amserve runs the differentially private release engine: analysts
+// POST a workload to /design once (repeated specs hit the strategy cache),
+// upload histograms to /datasets once with an optional privacy budget cap,
+// then request releases one at a time from /answer or in concurrent batches
+// from /release. The server tracks and *enforces* privacy spend per dataset
+// — a release that would exceed a dataset's cap is refused with HTTP 429
+// and the remaining budget. Unseeded releases draw crypto-seeded noise;
+// pass "seed" for reproducible experiments.
 //
 //	amserve -addr :8080
-//	curl -X POST localhost:8080/design -d '{"workload":"allrange:8x16"}'
-//	curl -X POST localhost:8080/answer -d '{"strategy":"s1","dataset":"db",
-//	     "histogram":[...],"epsilon":0.5,"delta":1e-4}'
+//	curl -X POST localhost:8080/design   -d '{"workload":"allrange:8x16"}'
+//	curl -X POST localhost:8080/datasets -d '{"name":"db","histogram":[...],
+//	     "cap":{"epsilon":2,"delta":1e-3}}'
+//	curl -X POST localhost:8080/answer   -d '{"strategy":"s1","dataset":"db",
+//	     "epsilon":0.5,"delta":1e-4}'
+//	curl -X POST localhost:8080/release  -d '{"releases":[
+//	     {"strategy":"s1","dataset":"db","epsilon":0.1,"delta":1e-5},
+//	     {"strategy":"s1","dataset":"db","epsilon":0.1,"delta":1e-5}],
+//	     "parallelism":8}'
+//	curl localhost:8080/datasets         # cells, cap, spent, remaining
+//	curl localhost:8080/ledger           # committed spend per dataset
 package main
 
 import (

@@ -1,0 +1,104 @@
+// Release engine: the full multi-user serving flow against an in-process
+// instance of the amserve HTTP service — the paper's deployment setting
+// grown into a production shape.
+//
+// The walkthrough: design a strategy for all range queries (a second
+// design of the same spec hits the strategy cache), register a dataset
+// once with a privacy budget cap, answer a concurrent batch of releases
+// through POST /release, and watch the accountant refuse the release that
+// would exceed the cap — with the remaining budget in the refusal.
+//
+// Run with: go run ./examples/releaseengine
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"adaptivemm/internal/server"
+)
+
+func call(ts *httptest.Server, method, path string, body any) (int, map[string]any) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			log.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func main() {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+
+	// 1. Design a strategy for all range queries over 512 cells. The
+	// workload has ~131k queries; design and inference stay matrix-free.
+	_, design := call(ts, "POST", "/design", map[string]any{"workload": "allrange:512"})
+	strategy := design["strategy"].(string)
+	fmt.Printf("designed %v: %v queries, form %v\n", strategy, design["queries"], design["form"])
+
+	// A repeated design of the same spec is served from the cache.
+	_, again := call(ts, "POST", "/design", map[string]any{"workload": "allrange:512"})
+	fmt.Printf("second design cached=%v, same id=%v\n", again["cached"], again["strategy"] == design["strategy"])
+
+	// 2. Register the histogram once, with a total budget cap. Every
+	// release below references it by name — no data in request bodies.
+	hist := make([]float64, 512)
+	for i := range hist {
+		hist[i] = float64((i * 7) % 50)
+	}
+	call(ts, "POST", "/datasets", map[string]any{
+		"name": "sensor-counts", "histogram": hist,
+		"cap": map[string]any{"epsilon": 1.0, "delta": 1e-3},
+	})
+
+	// 3. A concurrent batch of releases, each a private estimate of the
+	// histogram under its own (ε,δ). Unseeded → crypto-random noise.
+	releases := make([]map[string]any, 8)
+	for i := range releases {
+		releases[i] = map[string]any{
+			"strategy": strategy, "dataset": "sensor-counts",
+			"epsilon": 0.1, "delta": 1e-5, "mode": "estimate",
+		}
+	}
+	_, batch := call(ts, "POST", "/release", map[string]any{"releases": releases, "parallelism": 4})
+	fmt.Printf("batch: %v succeeded, %v failed\n", batch["succeeded"], batch["failed"])
+
+	// 4. The ledger now shows 8 × 0.1 committed; remaining ε is 0.2 …
+	_, datasets := call(ts, "GET", "/datasets", nil)
+	info := datasets["sensor-counts"].(map[string]any)
+	fmt.Printf("spent: %v, remaining: %v\n", info["spent"], info["remaining"])
+
+	// … so a release asking for ε=0.5 must be refused before any noise is
+	// drawn, with the remaining budget in the body.
+	code, refusal := call(ts, "POST", "/answer", map[string]any{
+		"strategy": strategy, "dataset": "sensor-counts",
+		"epsilon": 0.5, "delta": 1e-5, "mode": "estimate",
+	})
+	fmt.Printf("over-budget release → HTTP %d, remaining %v\n", code, refusal["remaining"])
+
+	// A release that fits the remaining budget still goes through.
+	code, _ = call(ts, "POST", "/answer", map[string]any{
+		"strategy": strategy, "dataset": "sensor-counts",
+		"epsilon": 0.2, "delta": 1e-5, "mode": "estimate",
+	})
+	fmt.Printf("exact-remaining release → HTTP %d\n", code)
+}

@@ -1,0 +1,162 @@
+package accountant
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestReserveCommitRefund(t *testing.T) {
+	a := New()
+	a.SetCap("d", Budget{Epsilon: 1, Delta: 1e-3})
+
+	res, err := a.Reserve("d", Budget{Epsilon: 0.4, Delta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent("d"); got.Epsilon != 0 {
+		t.Fatalf("spend before commit: %+v", got)
+	}
+	// The reservation already counts against the cap.
+	if rem, ok := a.Remaining("d"); !ok || math.Abs(rem.Epsilon-0.6) > 1e-12 {
+		t.Fatalf("remaining with reservation in flight: %+v ok=%v", rem, ok)
+	}
+	res.Commit()
+	if got := a.Spent("d"); math.Abs(got.Epsilon-0.4) > 1e-12 || math.Abs(got.Delta-1e-4) > 1e-18 {
+		t.Fatalf("spend after commit: %+v", got)
+	}
+	res.Commit() // idempotent
+	res.Refund() // no-op after settle
+	if got := a.Spent("d"); math.Abs(got.Epsilon-0.4) > 1e-12 {
+		t.Fatalf("double settle changed spend: %+v", got)
+	}
+
+	res2, err := a.Reserve("d", Budget{Epsilon: 0.5, Delta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Refund()
+	if got := a.Spent("d"); math.Abs(got.Epsilon-0.4) > 1e-12 {
+		t.Fatalf("refund charged the ledger: %+v", got)
+	}
+	if rem, ok := a.Remaining("d"); !ok || math.Abs(rem.Epsilon-0.6) > 1e-12 {
+		t.Fatalf("remaining after refund: %+v", rem)
+	}
+}
+
+func TestOverBudgetReporting(t *testing.T) {
+	a := New()
+	a.SetCap("d", Budget{Epsilon: 1, Delta: 1e-3})
+	res, err := a.Reserve("d", Budget{Epsilon: 0.7, Delta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Commit()
+
+	_, err = a.Reserve("d", Budget{Epsilon: 0.5, Delta: 1e-4})
+	var over *OverBudgetError
+	if !errors.As(err, &over) {
+		t.Fatalf("want OverBudgetError, got %v", err)
+	}
+	if over.Dataset != "d" || math.Abs(over.Remaining.Epsilon-0.3) > 1e-9 {
+		t.Fatalf("over-budget detail: %+v", over)
+	}
+	// The refused reservation must not have claimed anything.
+	ok, err := a.Reserve("d", Budget{Epsilon: 0.3, Delta: 1e-4})
+	if err != nil {
+		t.Fatalf("in-cap reservation after refusal: %v", err)
+	}
+	ok.Commit()
+}
+
+func TestUncappedDatasetIsTrackedButUnlimited(t *testing.T) {
+	a := New()
+	for i := 0; i < 50; i++ {
+		res, err := a.Reserve("free", Budget{Epsilon: 10, Delta: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Commit()
+	}
+	if got := a.Spent("free"); math.Abs(got.Epsilon-500) > 1e-9 {
+		t.Fatalf("spend %+v", got)
+	}
+	if _, ok := a.Remaining("free"); ok {
+		t.Fatal("uncapped dataset reported a remaining budget")
+	}
+}
+
+func TestPartialCapOnlyEpsilon(t *testing.T) {
+	a := New()
+	a.SetCap("d", Budget{Epsilon: 1}) // δ unlimited
+	res, err := a.Reserve("d", Budget{Epsilon: 0.9, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Commit()
+	if _, err := a.Reserve("d", Budget{Epsilon: 0.2, Delta: 0.5}); err == nil {
+		t.Fatal("epsilon cap not enforced")
+	}
+}
+
+// TestConcurrentReservationsNeverOverspend is the core guarantee: many
+// goroutines racing to release against one capped dataset, with some
+// refunding, must end with committed spend within the cap and exactly the
+// number of successes the cap allows. Run under -race in CI.
+func TestConcurrentReservationsNeverOverspend(t *testing.T) {
+	a := New()
+	const cap = 1.0
+	const per = 0.1
+	a.SetCap("shared", Budget{Epsilon: cap, Delta: 1e-2})
+
+	const workers = 64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	committed := 0
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := a.Reserve("shared", Budget{Epsilon: per, Delta: 1e-4})
+			if err != nil {
+				var over *OverBudgetError
+				if !errors.As(err, &over) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				return
+			}
+			// Every 4th worker simulates a failed release and refunds,
+			// making room for a later worker.
+			if g%4 == 3 {
+				res.Refund()
+				return
+			}
+			res.Commit()
+			mu.Lock()
+			committed++
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	spent := a.Spent("shared")
+	if spent.Epsilon > cap+1e-6 {
+		t.Fatalf("overspent: %+v against cap %g", spent, cap)
+	}
+	if got := float64(committed) * per; math.Abs(got-spent.Epsilon) > 1e-9 {
+		t.Fatalf("committed count %d inconsistent with spend %+v", committed, spent)
+	}
+	// With refunds freeing budget, later reservations can still land, but
+	// never more than cap/per commits in total.
+	if maxCommits := int(math.Round(cap / per)); committed > maxCommits {
+		t.Fatalf("%d commits exceed the %g/%g cap", committed, cap, per)
+	}
+}
+
+func TestNegativeBudgetRejected(t *testing.T) {
+	a := New()
+	if _, err := a.Reserve("d", Budget{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}

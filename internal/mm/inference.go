@@ -3,7 +3,6 @@ package mm
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/workload"
@@ -17,7 +16,7 @@ import (
 // skewed data. Post-processing of a differentially private output incurs
 // no privacy cost. The projection is computed by projected gradient
 // descent on ‖Ax − y‖² over x ≥ 0.
-func (m *Mechanism) EstimateGaussianNonNegative(x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+func (m *Mechanism) EstimateGaussianNonNegative(x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -3,7 +3,6 @@ package mm
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 
 	"adaptivemm/internal/linalg"
@@ -105,7 +104,7 @@ func (m *Mechanism) infer(y []float64) ([]float64, error) {
 // least-squares estimate x̂ of the data vector (steps 1–2 of Prop. 3's
 // three-step description). Workload answers are then consistent linear
 // functions of x̂.
-func (m *Mechanism) EstimateGaussian(x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+func (m *Mechanism) EstimateGaussian(x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,7 +121,7 @@ func (m *Mechanism) EstimateGaussian(x []float64, p Privacy, r *rand.Rand) ([]fl
 
 // EstimateLaplace is the pure ε-differential privacy analogue using Laplace
 // noise calibrated to the L1 sensitivity of the strategy.
-func (m *Mechanism) EstimateLaplace(x []float64, epsilon float64, r *rand.Rand) ([]float64, error) {
+func (m *Mechanism) EstimateLaplace(x []float64, epsilon float64, r NoiseSource) ([]float64, error) {
 	if epsilon <= 0 {
 		return nil, fmt.Errorf("mm: epsilon = %g must be positive", epsilon)
 	}
@@ -141,7 +140,7 @@ func (m *Mechanism) EstimateLaplace(x []float64, epsilon float64, r *rand.Rand) 
 // by W x̂ (step 3 of Prop. 3). The workload answers go through its
 // operator, so structured workloads of millions of queries are answered
 // without materializing anything.
-func (m *Mechanism) AnswerGaussian(w *workload.Workload, x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+func (m *Mechanism) AnswerGaussian(w *workload.Workload, x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	xhat, err := m.EstimateGaussian(x, p, r)
 	if err != nil {
 		return nil, err
@@ -152,7 +151,7 @@ func (m *Mechanism) AnswerGaussian(w *workload.Workload, x []float64, p Privacy,
 // Gaussian is the plain Gaussian mechanism of Prop. 2: independent noise
 // scaled to the workload's own L2 sensitivity, with no strategy or
 // inference. It is the baseline the matrix mechanism improves on.
-func Gaussian(w *workload.Workload, x []float64, p Privacy, r *rand.Rand) ([]float64, error) {
+func Gaussian(w *workload.Workload, x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -164,11 +163,24 @@ func Gaussian(w *workload.Workload, x []float64, p Privacy, r *rand.Rand) ([]flo
 	return y, nil
 }
 
+// minLaplaceLogArg is the smallest value the log argument in the inverse
+// CDF is allowed to take: the spacing of Float64 draws (2⁻⁵³), i.e. the
+// smallest nonzero value 1+2u can reach. Clamping there keeps the sample
+// at the magnitude of the rarest representable draw instead of −Inf.
+const minLaplaceLogArg = 0x1p-53
+
 // laplace draws one Laplace(0, b) sample by inverse CDF.
-func laplace(r *rand.Rand, b float64) float64 {
+func laplace(r NoiseSource, b float64) float64 {
 	u := r.Float64() - 0.5
 	if u >= 0 {
 		return -b * math.Log(1-2*u)
 	}
-	return b * math.Log(1+2*u)
+	// Float64 can return exactly 0, making u = −0.5 and the log argument
+	// 0: the sample would be −Inf and corrupt the whole least-squares
+	// estimate. Clamp to the boundary of the generator's support.
+	arg := 1 + 2*u
+	if arg < minLaplaceLogArg {
+		arg = minLaplaceLogArg
+	}
+	return b * math.Log(arg)
 }

@@ -1,0 +1,55 @@
+package mm
+
+import (
+	"bufio"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"io"
+	"math/rand"
+)
+
+// NoiseSource is the randomness a release draws its noise from. It is the
+// subset of *rand.Rand the mechanisms use, so a deterministic *rand.Rand
+// satisfies it directly for tests and reproducible experiments, while
+// production releases use a source backed by the operating system's
+// CSPRNG (NewCryptoSeededSource). Seeding from a counter or the wall
+// clock makes every "random" release predictable to anyone who can guess
+// the seed — a privacy hole, not just a testing nicety.
+type NoiseSource interface {
+	// Float64 returns a uniform draw in [0,1).
+	Float64() float64
+	// NormFloat64 returns a standard normal draw.
+	NormFloat64() float64
+}
+
+// cryptoSource adapts crypto/rand to rand.Source64, so math/rand's
+// distribution code (ziggurat NormFloat64, Float64) runs on a stream
+// where every word is fresh CSPRNG output. Merely *seeding* math/rand
+// from crypto/rand is not enough: rand.NewSource reduces the seed modulo
+// 2³¹−1, leaving ~2.1e9 possible noise streams — enumerable offline by an
+// attacker holding one release. The buffered reader amortizes the
+// syscall; a source is used by a single release, so no locking is needed.
+type cryptoSource struct {
+	r *bufio.Reader
+}
+
+func (s *cryptoSource) Uint64() uint64 {
+	var b [8]byte
+	if _, err := io.ReadFull(s.r, b[:]); err != nil {
+		// crypto/rand does not fail on any supported platform; if it ever
+		// does, releasing with degraded noise is not an option.
+		panic("mm: crypto/rand unavailable: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (s *cryptoSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *cryptoSource) Seed(int64) {} // the stream has no seed state
+
+// NewCryptoSeededSource returns a NoiseSource whose every draw consumes
+// fresh output from the operating system's CSPRNG, so noise streams are
+// unpredictable across releases and across server restarts.
+func NewCryptoSeededSource() NoiseSource {
+	return rand.New(&cryptoSource{r: bufio.NewReaderSize(cryptorand.Reader, 512)})
+}

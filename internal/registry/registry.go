@@ -1,0 +1,100 @@
+// Package registry stores named histogram datasets for the release
+// server. A histogram is uploaded once (POST /datasets) and every
+// subsequent release references it by name, so high-traffic clients stop
+// shipping million-cell vectors in each /answer body — the shared-dataset
+// serving model: one upload, many analysts, one tracked budget.
+//
+// The registry is purely in-memory storage: histograms are copied in on
+// Put, and Get hands out the stored slice read-only (releases only ever
+// multiply against it). Budget enforcement lives in the accountant
+// package.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned by Get for unknown dataset names.
+var ErrNotFound = fmt.Errorf("registry: dataset not found")
+
+// ErrExists is returned by Put when the name is already registered:
+// silently replacing a dataset would retroactively change what previous
+// releases were computed on, so replacement must be explicit (Delete +
+// Put) if ever needed.
+var ErrExists = fmt.Errorf("registry: dataset already registered")
+
+// Dataset is one registered histogram.
+type Dataset struct {
+	Name      string
+	Histogram []float64
+}
+
+// Cells returns the histogram length.
+func (d *Dataset) Cells() int { return len(d.Histogram) }
+
+// Registry is a concurrency-safe name → histogram store.
+type Registry struct {
+	mu   sync.RWMutex
+	data map[string]*Dataset
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{data: map[string]*Dataset{}}
+}
+
+// Put registers a histogram under a name, copying the slice so later
+// caller mutations cannot alter registered data. It fails with ErrExists
+// for duplicate names and rejects empty names and empty histograms.
+func (r *Registry) Put(name string, histogram []float64) error {
+	if name == "" {
+		return fmt.Errorf("registry: dataset name required")
+	}
+	if len(histogram) == 0 {
+		return fmt.Errorf("registry: dataset %q has an empty histogram", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.data[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.data[name] = &Dataset{
+		Name:      name,
+		Histogram: append([]float64(nil), histogram...),
+	}
+	return nil
+}
+
+// Get returns the dataset registered under name. The histogram is shared,
+// not copied: callers must treat it as read-only (releases only ever
+// multiply against it).
+func (r *Registry) Get(name string) (*Dataset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.data[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return d, nil
+}
+
+// Names returns all registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.data))
+	for name := range r.data {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.data)
+}

@@ -1,0 +1,78 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := New()
+	hist := []float64{1, 2, 3, 4}
+	if err := r.Put("adult", hist); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's slice must not reach the registered copy.
+	hist[0] = 99
+	d, err := r.Get("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "adult" || d.Cells() != 4 || d.Histogram[0] != 1 {
+		t.Fatalf("round trip: %+v", d)
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	r := New()
+	if _, err := r.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDuplicateAndInvalid(t *testing.T) {
+	r := New()
+	if err := r.Put("d", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("d", []float64{2}); !errors.Is(err, ErrExists) {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+	if err := r.Put("", []float64{1}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Put("empty", nil); err == nil {
+		t.Fatal("empty histogram accepted")
+	}
+}
+
+func TestNamesSortedAndConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	names := []string{"c", "a", "b"}
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := r.Put(name, []float64{1, 2}); err != nil {
+				t.Error(err)
+			}
+		}(name)
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Names()
+			_, _ = r.Get("a")
+		}()
+	}
+	wg.Wait()
+	got := r.Names()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("names: %v", got)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len: %d", r.Len())
+	}
+}

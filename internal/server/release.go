@@ -1,0 +1,304 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+
+	"adaptivemm/internal/accountant"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/registry"
+)
+
+// maxBatchReleases bounds one /release body; bigger jobs should be split
+// into several requests so no single call monopolizes the server.
+const maxBatchReleases = 256
+
+// defaultBatchParallelism is how many releases of one batch run
+// concurrently when the request does not choose.
+const defaultBatchParallelism = 8
+
+type answerRequest struct {
+	Strategy string `json:"strategy"`
+	Dataset  string `json:"dataset"`
+	// Histogram carries the data inline; omit it to release against a
+	// dataset registered via POST /datasets.
+	Histogram []float64 `json:"histogram,omitempty"`
+	Epsilon   float64   `json:"epsilon"`
+	Delta     float64   `json:"delta"`
+	// Seed pins the noise stream for reproducible experiments. Absent
+	// (null) selects fresh crypto-seeded noise; an explicit 0 is a valid
+	// seed, not "absent".
+	Seed *int64 `json:"seed,omitempty"`
+	// Mode selects the release payload: "answers" (default) returns the m
+	// workload answers, "estimate" the n-cell histogram estimate.
+	Mode string `json:"mode,omitempty"`
+}
+
+type answerResponse struct {
+	Answers []float64 `json:"answers"`
+	Ledger  Budget    `json:"ledger"`
+}
+
+// releaseError carries an HTTP status, a message, and — for budget
+// refusals — the remaining budget to surface to the analyst.
+type releaseError struct {
+	code      int
+	msg       string
+	remaining *Budget
+}
+
+func (e *releaseError) Error() string { return e.msg }
+
+func releaseErrorf(code int, format string, args ...any) *releaseError {
+	return &releaseError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// release runs one differentially private release end to end: validate,
+// resolve the dataset, reserve budget, draw noise, infer, and commit (or
+// refund on failure). It is the shared core of /answer and batch
+// /release.
+func (s *Server) release(req *answerRequest) ([]float64, Budget, *releaseError) {
+	if req.Dataset == "" {
+		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "dataset name required for budget accounting")
+	}
+	if req.Mode != "" && req.Mode != "answers" && req.Mode != "estimate" {
+		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "mode %q not recognized (want answers or estimate)", req.Mode)
+	}
+	p := mm.Privacy{Epsilon: req.Epsilon, Delta: req.Delta}
+	if err := p.Validate(); err != nil {
+		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "%v", err)
+	}
+	s.mu.RLock()
+	ent, ok := s.strategies[req.Strategy]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, Budget{}, releaseErrorf(http.StatusNotFound, "unknown strategy %q", req.Strategy)
+	}
+
+	hist := req.Histogram
+	if hist == nil {
+		d, err := s.reg.Get(req.Dataset)
+		if err != nil {
+			if errors.Is(err, registry.ErrNotFound) {
+				return nil, Budget{}, releaseErrorf(http.StatusNotFound,
+					"dataset %q not registered; POST /datasets first or provide an inline histogram", req.Dataset)
+			}
+			return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "%v", err)
+		}
+		hist = d.Histogram
+	} else if _, err := s.reg.Get(req.Dataset); err == nil {
+		return nil, Budget{}, releaseErrorf(http.StatusBadRequest,
+			"dataset %q is registered; omit the inline histogram so releases answer the registered data", req.Dataset)
+	}
+	if len(hist) != ent.w.Cells() {
+		return nil, Budget{}, releaseErrorf(http.StatusBadRequest,
+			"histogram has %d cells, workload expects %d", len(hist), ent.w.Cells())
+	}
+	if req.Mode != "estimate" && ent.w.NumQueries() > maxAnswerRows {
+		return nil, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
+			"workload has %d queries, past the %d-answer response cap; request mode \"estimate\" instead",
+			ent.w.NumQueries(), maxAnswerRows)
+	}
+
+	// Reserve before drawing any noise: concurrent releases against one
+	// capped dataset can never jointly overspend, and a refused release
+	// costs nothing.
+	res, err := s.acct.Reserve(req.Dataset, accountant.Budget{Epsilon: p.Epsilon, Delta: p.Delta})
+	if err != nil {
+		var over *accountant.OverBudgetError
+		if errors.As(err, &over) {
+			rem := fromAcct(over.Remaining)
+			return nil, Budget{}, &releaseError{
+				code:      http.StatusTooManyRequests,
+				msg:       fmt.Sprintf("release refused: %v", err),
+				remaining: &rem,
+			}
+		}
+		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "%v", err)
+	}
+
+	// Noise: deterministic only when the request pins a seed; the default
+	// is a crypto-seeded source, so "unseeded" releases are unpredictable
+	// across requests and across server restarts.
+	var noise mm.NoiseSource
+	if req.Seed != nil {
+		noise = rand.New(rand.NewSource(*req.Seed))
+	} else {
+		noise = mm.NewCryptoSeededSource()
+	}
+
+	var ans []float64
+	if req.Mode == "estimate" {
+		ans, err = ent.mech.EstimateGaussian(hist, p, noise)
+	} else {
+		ans, err = ent.mech.AnswerGaussian(ent.w, hist, p, noise)
+	}
+	if err != nil {
+		res.Refund()
+		return nil, Budget{}, releaseErrorf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	res.Commit()
+	return ans, fromAcct(s.acct.Spent(req.Dataset)), nil
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req answerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	ans, ledger, rerr := s.release(&req)
+	if rerr != nil {
+		writeReleaseError(w, rerr)
+		return
+	}
+	writeJSON(w, answerResponse{Answers: ans, Ledger: ledger})
+}
+
+// writeReleaseError writes the error with the remaining budget attached
+// for budget refusals.
+func writeReleaseError(w http.ResponseWriter, e *releaseError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.code)
+	body := map[string]any{"error": e.msg}
+	if e.remaining != nil {
+		body["remaining"] = *e.remaining
+	}
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// --- batch releases ---
+
+type batchItem struct {
+	Strategy string  `json:"strategy"`
+	Dataset  string  `json:"dataset"`
+	Epsilon  float64 `json:"epsilon"`
+	Delta    float64 `json:"delta"`
+	Seed     *int64  `json:"seed,omitempty"`
+	Mode     string  `json:"mode,omitempty"`
+}
+
+type batchRequest struct {
+	Releases []batchItem `json:"releases"`
+	// Parallelism bounds how many releases run concurrently (default 8,
+	// capped at the batch size).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+type batchResult struct {
+	Index   int       `json:"index"`
+	Status  int       `json:"status"`
+	Answers []float64 `json:"answers,omitempty"`
+	Ledger  *Budget   `json:"ledger,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	// Remaining reports the unspent budget for entries refused with 429.
+	Remaining *Budget `json:"remaining,omitempty"`
+}
+
+type batchResponse struct {
+	Results   []batchResult `json:"results"`
+	Succeeded int           `json:"succeeded"`
+	Failed    int           `json:"failed"`
+}
+
+// handleRelease answers a batch of (strategy, dataset, privacy) triples
+// concurrently with bounded parallelism. Entries reference registered
+// datasets only — the point of the batch path is that request bodies stay
+// small no matter how large the data is. Each entry reserves, releases
+// and commits (or refunds) independently, so one over-budget or failing
+// entry never poisons the rest of the batch.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Releases) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Releases) > maxBatchReleases {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d releases exceeds the %d-release cap; split the batch", len(req.Releases), maxBatchReleases)
+		return
+	}
+	// Bound the aggregate response, not just each entry: 256 entries near
+	// the per-request answer cap would buffer gigabytes before encoding.
+	// The whole batch gets the same payload budget as one /answer.
+	var totalValues int
+	for _, item := range req.Releases {
+		s.mu.RLock()
+		ent, ok := s.strategies[item.Strategy]
+		s.mu.RUnlock()
+		if !ok {
+			continue // the entry will fail with 404 on its own
+		}
+		if item.Mode == "estimate" {
+			totalValues += ent.w.Cells()
+		} else {
+			totalValues += ent.w.NumQueries()
+		}
+	}
+	if totalValues > maxAnswerRows {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch would return %d answer values, past the %d-value response cap; use mode \"estimate\" or split the batch",
+			totalValues, maxAnswerRows)
+		return
+	}
+
+	par := req.Parallelism
+	if par <= 0 {
+		par = defaultBatchParallelism
+	}
+	if par > len(req.Releases) {
+		par = len(req.Releases)
+	}
+
+	results := make([]batchResult, len(req.Releases))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, item := range req.Releases {
+		wg.Add(1)
+		go func(i int, item batchItem) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ans, ledger, rerr := s.release(&answerRequest{
+				Strategy: item.Strategy,
+				Dataset:  item.Dataset,
+				Epsilon:  item.Epsilon,
+				Delta:    item.Delta,
+				Seed:     item.Seed,
+				Mode:     item.Mode,
+			})
+			if rerr != nil {
+				results[i] = batchResult{Index: i, Status: rerr.code, Error: rerr.msg, Remaining: rerr.remaining}
+				return
+			}
+			results[i] = batchResult{Index: i, Status: http.StatusOK, Answers: ans, Ledger: &ledger}
+		}(i, item)
+	}
+	wg.Wait()
+
+	resp := batchResponse{Results: results}
+	for _, res := range results {
+		if res.Status == http.StatusOK {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,486 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// designOn posts a /design request and returns the decoded response.
+func designOn(t *testing.T, ts *httptest.Server, req map[string]any) designResponse {
+	t.Helper()
+	resp, body := post(t, ts, "/design", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("design status %d: %s", resp.StatusCode, body)
+	}
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func registerDataset(t *testing.T, ts *httptest.Server, name string, hist []float64, cap *Budget) {
+	t.Helper()
+	req := map[string]any{"name": name, "histogram": hist}
+	if cap != nil {
+		req["cap"] = cap
+	}
+	resp, body := post(t, ts, "/datasets", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestDatasetRegistryRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	d := designOn(t, ts, map[string]any{"workload": "identity:4"})
+
+	registerDataset(t, ts, "adult", []float64{1, 2, 3, 4}, &Budget{Epsilon: 2, Delta: 1e-3})
+
+	// Duplicate registration conflicts.
+	resp, _ := post(t, ts, "/datasets", map[string]any{"name": "adult", "histogram": []float64{9, 9, 9, 9}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate registration status %d", resp.StatusCode)
+	}
+
+	// A release referencing the registered dataset needs no histogram.
+	resp, body := post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "adult", "epsilon": 0.5, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("registered release status %d: %s", resp.StatusCode, body)
+	}
+
+	// Inline histograms conflict with registered data.
+	resp, _ = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "adult", "histogram": []float64{1, 2, 3, 4},
+		"epsilon": 0.5, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inline histogram for registered dataset: status %d", resp.StatusCode)
+	}
+
+	// Unknown datasets without an inline histogram are 404.
+	resp, _ = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "ghost", "epsilon": 0.5, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset status %d", resp.StatusCode)
+	}
+
+	// GET /datasets reports cells, cap, spend and remaining budget.
+	resp2, err := http.Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var list map[string]datasetInfo
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := list["adult"]
+	if !ok || info.Cells != 4 || info.Cap == nil || info.Cap.Epsilon != 2 {
+		t.Fatalf("dataset listing: %+v", list)
+	}
+	if info.Spent.Epsilon != 0.5 || info.Remaining == nil || math.Abs(info.Remaining.Epsilon-1.5) > 1e-9 {
+		t.Fatalf("spend/remaining: %+v", info)
+	}
+}
+
+// TestBudgetCapRefusal is the acceptance scenario: a capped dataset
+// refuses the release that would exceed its budget with HTTP 429 and the
+// remaining budget in the body, while in-cap releases keep succeeding.
+func TestBudgetCapRefusal(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	d := designOn(t, ts, map[string]any{"workload": "identity:4"})
+	registerDataset(t, ts, "capped", []float64{5, 6, 7, 8}, &Budget{Epsilon: 1, Delta: 1e-2})
+
+	resp, body := post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "capped", "epsilon": 0.6, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-cap release status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "capped", "epsilon": 0.6, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap release status %d: %s", resp.StatusCode, body)
+	}
+	var refusal struct {
+		Error     string `json:"error"`
+		Remaining Budget `json:"remaining"`
+	}
+	if err := json.Unmarshal(body, &refusal); err != nil {
+		t.Fatal(err)
+	}
+	if refusal.Error == "" || math.Abs(refusal.Remaining.Epsilon-0.4) > 1e-9 {
+		t.Fatalf("refusal body: %s", body)
+	}
+
+	// The refused release must not have charged anything: a smaller
+	// release that fits the remaining budget still succeeds.
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "capped", "epsilon": 0.4, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remaining-budget release status %d: %s", resp.StatusCode, body)
+	}
+	var a answerResponse
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Ledger.Epsilon-1.0) > 1e-9 {
+		t.Fatalf("ledger after exact-cap spend: %+v", a.Ledger)
+	}
+}
+
+// TestConcurrentCappedReleases races many in-cap releases against one
+// capped dataset: all must succeed and the committed spend must come out
+// exact. Run under -race in CI.
+func TestConcurrentCappedReleases(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	d := designOn(t, ts, map[string]any{"workload": "identity:8"})
+	hist := make([]float64, 8)
+	registerDataset(t, ts, "shared", hist, &Budget{Epsilon: 10, Delta: 1})
+
+	reqBody, err := json.Marshal(map[string]any{
+		"strategy": d.Strategy, "dataset": "shared",
+		"epsilon": 0.1, "delta": 1e-5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const releases = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < releases; i++ {
+				resp, err := http.Post(ts.URL+"/answer", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("concurrent in-cap release status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ledger map[string]Budget
+	if err := json.NewDecoder(resp.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 * workers * releases
+	if got := ledger["shared"].Epsilon; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ledger epsilon = %g, want %g", got, want)
+	}
+}
+
+// TestUnseededNoiseUnpredictable covers the headline bugfix: "unseeded"
+// releases must draw fresh noise per release and per server instance —
+// the old counter seeding repeated the identical stream after every
+// restart.
+func TestUnseededNoiseUnpredictable(t *testing.T) {
+	hist := []float64{10, 20, 30, 40}
+	run := func() []float64 {
+		ts := httptest.NewServer(New().Handler())
+		defer ts.Close()
+		d := designOn(t, ts, map[string]any{"workload": "identity:4"})
+		resp, body := post(t, ts, "/answer", map[string]any{
+			"strategy": d.Strategy, "dataset": "db", "histogram": hist,
+			"epsilon": 0.5, "delta": 1e-4,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("answer status %d: %s", resp.StatusCode, body)
+		}
+		var a answerResponse
+		if err := json.Unmarshal(body, &a); err != nil {
+			t.Fatal(err)
+		}
+		return a.Answers
+	}
+	// Two fresh server instances simulate a restart: the first unseeded
+	// release of each used to be identical.
+	first, second := run(), run()
+	same := true
+	for i := range first {
+		if first[i] != second[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("unseeded releases identical across restarts: %v", first)
+	}
+}
+
+// TestExplicitZeroSeedHonored: seed 0 used to be conflated with "absent"
+// and silently replaced by the salt counter; as a *int64 it now pins the
+// stream like any other seed.
+func TestExplicitZeroSeedHonored(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	d := designOn(t, ts, map[string]any{"workload": "identity:4"})
+	req := map[string]any{
+		"strategy": d.Strategy, "dataset": "db", "histogram": []float64{1, 2, 3, 4},
+		"epsilon": 1, "delta": 1e-4, "seed": 0,
+	}
+	var a1, a2 answerResponse
+	_, b1 := post(t, ts, "/answer", req)
+	_, b2 := post(t, ts, "/answer", req)
+	if err := json.Unmarshal(b1, &a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b2, &a2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.Answers {
+		if a1.Answers[i] != a2.Answers[i] {
+			t.Fatal("seed 0 produced different answers across releases")
+		}
+	}
+}
+
+// TestStrategyCacheHit: repeated /design of the same canonical spec
+// returns the cached strategy id without re-running design.
+func TestStrategyCacheHit(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	d1 := designOn(t, ts, map[string]any{"workload": "allrange:2048"})
+	if d1.Cached {
+		t.Fatalf("first design reported cached: %+v", d1)
+	}
+	d2 := designOn(t, ts, map[string]any{"workload": "allrange:2048"})
+	if !d2.Cached || d2.Strategy != d1.Strategy {
+		t.Fatalf("second design not served from cache: %+v vs %+v", d2, d1)
+	}
+	// Canonicalization: case and whitespace do not defeat the cache.
+	d3 := designOn(t, ts, map[string]any{"workload": "  AllRange:2048 "})
+	if !d3.Cached || d3.Strategy != d1.Strategy {
+		t.Fatalf("canonicalized spec missed the cache: %+v", d3)
+	}
+	// A different spec is a different strategy.
+	d4 := designOn(t, ts, map[string]any{"workload": "identity:16"})
+	if d4.Cached || d4.Strategy == d1.Strategy {
+		t.Fatalf("distinct spec served from cache: %+v", d4)
+	}
+	// Randomized specs sample by seed, so the seed is part of the key.
+	r1 := designOn(t, ts, map[string]any{"workload": "randomrange:8:16", "seed": 1})
+	r2 := designOn(t, ts, map[string]any{"workload": "randomrange:8:16", "seed": 2})
+	if r2.Cached || r2.Strategy == r1.Strategy {
+		t.Fatalf("different seeds shared a cache slot: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestDesignPrivacyDefaulting: a request carrying only ε (or only δ) is
+// valid; the omitted field defaults independently and the response echoes
+// the pair actually used.
+func TestDesignPrivacyDefaulting(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	d := designOn(t, ts, map[string]any{"workload": "identity:4", "epsilon": 2.0})
+	if d.Epsilon != 2.0 || d.Delta != defaultDelta {
+		t.Fatalf("epsilon-only design used (ε=%g, δ=%g)", d.Epsilon, d.Delta)
+	}
+	if d.ExpectedError <= 0 {
+		t.Fatalf("expected error missing: %+v", d)
+	}
+
+	d = designOn(t, ts, map[string]any{"workload": "identity:4", "delta": 1e-6})
+	if d.Epsilon != defaultEpsilon || d.Delta != 1e-6 {
+		t.Fatalf("delta-only design used (ε=%g, δ=%g)", d.Epsilon, d.Delta)
+	}
+
+	// Invalid explicit values are still rejected.
+	resp, _ := post(t, ts, "/design", map[string]any{"workload": "identity:4", "epsilon": -1.0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative epsilon status %d", resp.StatusCode)
+	}
+}
+
+// TestRaggedRowsRejected: every row is validated, and the error names the
+// offending row.
+func TestRaggedRowsRejected(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, body := post(t, ts, "/design", map[string]any{
+		"rows":  [][]float64{{1, 0, 0, 0}, {0, 1, 0, 0}, {1, 1}},
+		"shape": []int{4},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged rows status %d: %s", resp.StatusCode, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if got := e["error"]; got != "row 2 has 2 columns, want 4" {
+		t.Fatalf("ragged row error %q", got)
+	}
+}
+
+// TestBatchRelease covers the batch endpoint's partial-failure semantics:
+// successful entries commit, refused or failing entries charge nothing.
+func TestBatchRelease(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	d := designOn(t, ts, map[string]any{"workload": "identity:4"})
+	registerDataset(t, ts, "b", []float64{1, 2, 3, 4}, &Budget{Epsilon: 0.25, Delta: 1e-2})
+	registerDataset(t, ts, "free", []float64{4, 3, 2, 1}, nil)
+
+	resp, body := post(t, ts, "/release", map[string]any{
+		"parallelism": 4,
+		"releases": []map[string]any{
+			// Two 0.2-entries race for a 0.25 cap: exactly one commits.
+			{"strategy": d.Strategy, "dataset": "b", "epsilon": 0.2, "delta": 1e-4},
+			{"strategy": d.Strategy, "dataset": "b", "epsilon": 0.2, "delta": 1e-4},
+			{"strategy": "bogus", "dataset": "b", "epsilon": 0.1, "delta": 1e-4},
+			{"strategy": d.Strategy, "dataset": "free", "epsilon": 0.3, "delta": 1e-4, "mode": "estimate"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Succeeded != 2 || br.Failed != 2 || len(br.Results) != 4 {
+		t.Fatalf("batch outcome: %s", body)
+	}
+	var saw429, saw404 bool
+	for _, res := range br.Results {
+		switch res.Status {
+		case http.StatusOK:
+			if len(res.Answers) != 4 || res.Ledger == nil {
+				t.Fatalf("successful entry missing payload: %+v", res)
+			}
+		case http.StatusTooManyRequests:
+			saw429 = true
+			if res.Remaining == nil || math.Abs(res.Remaining.Epsilon-0.05) > 1e-9 {
+				t.Fatalf("429 entry remaining: %+v", res)
+			}
+		case http.StatusNotFound:
+			saw404 = true
+		default:
+			t.Fatalf("unexpected entry status: %+v", res)
+		}
+	}
+	if !saw429 || !saw404 {
+		t.Fatalf("expected one 429 and one 404 entry: %s", body)
+	}
+
+	// Ledger: exactly one 0.2 release committed on "b", the failed ones
+	// refunded/uncharged; "free" carries its 0.3.
+	resp2, err := http.Get(ts.URL + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var ledger map[string]Budget
+	if err := json.NewDecoder(resp2.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	if got := ledger["b"].Epsilon; math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("capped dataset spend %g, want exactly one committed 0.2", got)
+	}
+	if got := ledger["free"].Epsilon; math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("uncapped dataset spend %g", got)
+	}
+}
+
+func TestBatchReleaseValidation(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, _ := post(t, ts, "/release", map[string]any{"releases": []map[string]any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+	big := make([]map[string]any, maxBatchReleases+1)
+	for i := range big {
+		big[i] = map[string]any{"strategy": "s1", "dataset": "d", "epsilon": 0.1, "delta": 1e-4}
+	}
+	resp, _ = post(t, ts, "/release", map[string]any{"releases": big})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch status %d", resp.StatusCode)
+	}
+}
+
+// TestBatchAggregatePayloadCap: each entry may be under the per-request
+// answer cap, but the batch as a whole shares one payload budget —
+// otherwise 256 near-cap entries would buffer gigabytes server-side.
+func TestBatchAggregatePayloadCap(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	// allrange:1024 has 524,800 queries: one answers-mode entry fits the
+	// 2^20 cap, two together exceed it.
+	d := designOn(t, ts, map[string]any{"workload": "allrange:1024"})
+	registerDataset(t, ts, "big", make([]float64, 1024), nil)
+
+	entry := map[string]any{"strategy": d.Strategy, "dataset": "big", "epsilon": 0.1, "delta": 1e-4}
+	resp, body := post(t, ts, "/release", map[string]any{
+		"releases": []map[string]any{entry, entry},
+	})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("aggregate over-cap batch status %d: %s", resp.StatusCode, body)
+	}
+	// The refused batch must not have charged anything.
+	resp2, err := http.Get(ts.URL + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var ledger map[string]Budget
+	if err := json.NewDecoder(resp2.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	if _, charged := ledger["big"]; charged {
+		t.Fatalf("refused batch charged the ledger: %+v", ledger)
+	}
+	// In estimate mode the same two entries are 2×1024 values and sail
+	// through.
+	est := map[string]any{"strategy": d.Strategy, "dataset": "big", "epsilon": 0.1, "delta": 1e-4, "mode": "estimate"}
+	resp, body = post(t, ts, "/release", map[string]any{
+		"releases": []map[string]any{est, est},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate batch status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Succeeded != 2 {
+		t.Fatalf("estimate batch outcome: %s", body)
+	}
+}

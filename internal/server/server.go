@@ -1,8 +1,11 @@
-// Package server implements a small HTTP service for batch query
+// Package server implements the HTTP release engine for batch query
 // answering under (ε,δ)-differential privacy — the paper's deployment
-// setting: analysts submit a workload once, the server designs a strategy,
-// and each release against a dataset consumes privacy budget tracked by a
-// per-dataset ledger (sequential composition).
+// setting grown into a multi-user service: analysts submit a workload
+// once, the server adapts and caches a strategy, datasets are uploaded
+// once into a registry, and every release spends privacy budget through
+// an accountant that enforces per-dataset caps with atomic
+// check-reserve-commit semantics (a release that would exceed the cap is
+// refused before any noise is drawn).
 //
 // Strategy selection scales with the domain: small domains get the exact
 // Eigen-Design; product-form domains past the dense cap use the factored
@@ -10,32 +13,57 @@
 // hierarchical operator strategy. All three paths answer through
 // matrix-free inference, so workloads like allrange:2048 (2.1M queries)
 // are designed and answered without materializing any dense matrix.
+// Repeated /design of the same workload spec returns the cached strategy
+// without re-running design.
+//
+// Release noise is drawn from a crypto-seeded source by default; a
+// request may pin a deterministic seed (any value, including 0) for
+// reproducible experiments.
 //
 // Endpoints (JSON):
 //
 //	POST /design    {"workload": "allrange:8x16"} or {"rows": [[...]], "shape": [8,16]}
 //	                → {"strategy": id, "queries": m, "cells": n, "form": "eigen|principal|hierarchical",
+//	                   "epsilon": ..., "delta": ..., "cached": bool,
 //	                   "expectedError": ..., "lowerBound": ...}   (error fields 0 when skipped at scale)
+//	POST /datasets  {"name": "adult", "histogram": [...], "cap": {"epsilon": 2, "delta": 1e-3}}
+//	                → {"name": ..., "cells": n, "cap": {...}}    cap optional (absent = unlimited)
+//	GET  /datasets  → {"<name>": {"cells": n, "cap": {...}, "spent": {...}, "remaining": {...}}, ...}
 //	POST /answer    {"strategy": id, "dataset": name, "histogram": [...],
 //	                 "epsilon": 0.5, "delta": 1e-4, "seed": 7, "mode": "answers"|"estimate"}
 //	                → {"answers": [...], "ledger": {"epsilon": ..., "delta": ...}}
+//	                histogram may be omitted for a registered dataset;
 //	                mode "estimate" returns the n-cell private histogram
 //	                estimate instead of the m workload answers — the right
-//	                choice when m is in the millions.
-//	GET  /ledger    → {"<dataset>": {"epsilon": ..., "delta": ...}, ...}
+//	                choice when m is in the millions. 429 with the
+//	                remaining budget when the release would exceed the cap.
+//	POST /release   {"releases": [{"strategy": id, "dataset": name, "epsilon": ...,
+//	                 "delta": ..., "seed": ..., "mode": ...}, ...], "parallelism": 8}
+//	                → {"results": [{"index": i, "status": 200, "answers": [...],
+//	                   "ledger": {...}} | {"index": i, "status": ..., "error": ...,
+//	                   "remaining": {...}}], "succeeded": n, "failed": n}
+//	                batch releases against registered datasets, answered
+//	                concurrently with bounded parallelism; each entry is
+//	                charged through the accountant independently (failed
+//	                entries are refunded, successful ones committed).
+//	GET  /ledger    → {"<dataset>": {"epsilon": ..., "delta": ...}, ...}  committed spend
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 
+	"adaptivemm/internal/accountant"
 	"adaptivemm/internal/core"
 	"adaptivemm/internal/domain"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/registry"
 	"adaptivemm/internal/strategy"
 	"adaptivemm/internal/wio"
 	"adaptivemm/internal/workload"
@@ -60,21 +88,45 @@ const principalK = 16
 // n-cell histogram answers every query by post-processing anyway).
 const maxAnswerRows = 1 << 20
 
-// Server holds designed strategies and the per-dataset privacy ledger.
-// Reads (/answer strategy lookups, /ledger) take the read lock, so
-// concurrent releases and ledger inspections never serialize behind a
-// long-running /design.
+// Default privacy parameters applied independently when a /design request
+// omits one of them (they only drive the reported expected error).
+const (
+	defaultEpsilon = 0.5
+	defaultDelta   = 1e-4
+)
+
+// Server holds designed strategies, the strategy cache, the dataset
+// registry and the budget accountant. Reads (/answer strategy lookups,
+// cache hits) take the read lock, so concurrent releases never serialize
+// behind a long-running /design; the registry and accountant have their
+// own finer-grained locks.
 type Server struct {
 	mu         sync.RWMutex
 	nextID     int
 	strategies map[string]*entry
-	ledger     map[string]Budget
-	seedSalt   int64
+	// cache maps a canonical workload spec (plus sampling seed) to the id
+	// of the strategy designed for it, so repeated /design of the same
+	// spec is O(1) instead of a repeated eigendecomposition.
+	cache map[string]string
+
+	acct *accountant.Accountant
+	reg  *registry.Registry
+	// regMu serializes dataset registration so the cap is always
+	// installed in the accountant before the dataset becomes resolvable —
+	// otherwise a concurrent release could reserve unlimited budget in
+	// the window between Put and SetCap.
+	regMu sync.Mutex
 }
 
 type entry struct {
-	w    *workload.Workload
-	mech *mm.Mechanism
+	w           *workload.Workload
+	mech        *mm.Mechanism
+	form        string
+	eigenvalues []float64
+	// expected memoizes the analytic expected error per privacy pair
+	// (guarded by Server.mu), so cache hits with a previously seen pair
+	// skip the O(n³) error analysis too.
+	expected map[mm.Privacy]float64
 }
 
 // Budget is cumulative privacy spend under basic sequential composition.
@@ -83,11 +135,15 @@ type Budget struct {
 	Delta   float64 `json:"delta"`
 }
 
+func fromAcct(b accountant.Budget) Budget { return Budget{Epsilon: b.Epsilon, Delta: b.Delta} }
+
 // New returns an empty server.
 func New() *Server {
 	return &Server{
 		strategies: map[string]*entry{},
-		ledger:     map[string]Budget{},
+		cache:      map[string]string{},
+		acct:       accountant.New(),
+		reg:        registry.New(),
 	}
 }
 
@@ -95,7 +151,9 @@ func New() *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/design", s.handleDesign)
+	mux.HandleFunc("/datasets", s.handleDatasets)
 	mux.HandleFunc("/answer", s.handleAnswer)
+	mux.HandleFunc("/release", s.handleRelease)
 	mux.HandleFunc("/ledger", s.handleLedger)
 	return mux
 }
@@ -108,7 +166,8 @@ type designRequest struct {
 	Shape []int       `json:"shape,omitempty"`
 	// Seed drives randomized workload specs.
 	Seed int64 `json:"seed,omitempty"`
-	// Epsilon/Delta are used only to report the expected error.
+	// Epsilon/Delta are used only to report the expected error. Each
+	// defaults independently when omitted.
 	Epsilon float64 `json:"epsilon,omitempty"`
 	Delta   float64 `json:"delta,omitempty"`
 }
@@ -120,7 +179,14 @@ type designResponse struct {
 	// Form reports which design path was selected: "eigen" (exact dense),
 	// "principal" (factored Kronecker) or "hierarchical" (structured
 	// fallback).
-	Form          string  `json:"form"`
+	Form string `json:"form"`
+	// Epsilon/Delta echo the privacy pair the error analysis used,
+	// including any defaulted component.
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	// Cached reports that the strategy came from the cache, not a fresh
+	// design run.
+	Cached        bool    `json:"cached"`
 	ExpectedError float64 `json:"expectedError"`
 	LowerBound    float64 `json:"lowerBound"`
 }
@@ -135,6 +201,36 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
+	// Default each privacy field independently: a request carrying only ε
+	// (or only δ) is valid and must not reach the error analysis as an
+	// invalid pair.
+	p := mm.Privacy{Epsilon: req.Epsilon, Delta: req.Delta}
+	if p.Epsilon == 0 {
+		p.Epsilon = defaultEpsilon
+	}
+	if p.Delta == 0 {
+		p.Delta = defaultDelta
+	}
+	if err := p.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := s.cacheKey(&req)
+	if key != "" {
+		s.mu.RLock()
+		id, ok := s.cache[key]
+		var ent *entry
+		if ok {
+			ent = s.strategies[id]
+		}
+		s.mu.RUnlock()
+		if ent != nil {
+			s.respondDesign(w, id, ent, p, true)
+			return
+		}
+	}
+
 	wl, err := s.buildWorkload(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -155,33 +251,79 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "mechanism: %v", err)
 		return
 	}
-	p := mm.Privacy{Epsilon: req.Epsilon, Delta: req.Delta}
-	if p.Epsilon == 0 {
-		p = mm.Privacy{Epsilon: 0.5, Delta: 1e-4}
-	}
-	var expected, lb float64
+	ent := &entry{w: wl, mech: mech, form: form, eigenvalues: eigenvalues, expected: map[mm.Privacy]float64{}}
 	if wl.Cells() <= analysisCap {
-		expected, err = mm.Error(wl, op, p)
+		expected, err := mm.Error(wl, op, p)
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, "error analysis: %v", err)
 			return
 		}
-	}
-	if eigenvalues != nil {
-		lb = mm.LowerBoundFromEigenvalues(eigenvalues, wl.NumQueries(), p)
+		ent.expected[p] = expected
 	}
 
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	s.strategies[id] = &entry{w: wl, mech: mech}
+	s.strategies[id] = ent
+	if key != "" {
+		// Concurrent designs of the same spec can both get here; the last
+		// one wins the cache slot and the loser's strategy stays usable
+		// under its own id.
+		s.cache[key] = id
+	}
 	s.mu.Unlock()
 
+	s.respondDesign(w, id, ent, p, false)
+}
+
+// cacheKey returns the canonical cache key for a spec-based design
+// request, or "" when the request is not cacheable (explicit rows).
+// Randomized specs sample by seed, so the seed is part of the identity.
+func (s *Server) cacheKey(req *designRequest) string {
+	if req.Workload == "" || req.Rows != nil {
+		return ""
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return fmt.Sprintf("%s|seed=%d", strings.ToLower(strings.TrimSpace(req.Workload)), seed)
+}
+
+// respondDesign writes the design response, computing (and memoizing) the
+// error analysis for the requested privacy pair.
+func (s *Server) respondDesign(w http.ResponseWriter, id string, ent *entry, p mm.Privacy, cached bool) {
+	var expected float64
+	if ent.w.Cells() <= analysisCap {
+		s.mu.RLock()
+		e, ok := ent.expected[p]
+		s.mu.RUnlock()
+		if ok {
+			expected = e
+		} else {
+			var err error
+			expected, err = mm.Error(ent.w, ent.mech.Strategy(), p)
+			if err != nil {
+				httpError(w, http.StatusUnprocessableEntity, "error analysis: %v", err)
+				return
+			}
+			s.mu.Lock()
+			ent.expected[p] = expected
+			s.mu.Unlock()
+		}
+	}
+	var lb float64
+	if ent.eigenvalues != nil {
+		lb = mm.LowerBoundFromEigenvalues(ent.eigenvalues, ent.w.NumQueries(), p)
+	}
 	writeJSON(w, designResponse{
 		Strategy:      id,
-		Queries:       wl.NumQueries(),
-		Cells:         wl.Cells(),
-		Form:          form,
+		Queries:       ent.w.NumQueries(),
+		Cells:         ent.w.Cells(),
+		Form:          ent.form,
+		Epsilon:       p.Epsilon,
+		Delta:         p.Delta,
+		Cached:        cached,
 		ExpectedError: expected,
 		LowerBound:    lb,
 	})
@@ -224,8 +366,15 @@ func (s *Server) buildWorkload(req *designRequest) (*workload.Workload, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(req.Rows) == 0 || len(req.Rows[0]) != shape.Size() {
+		if len(req.Rows) == 0 {
 			return nil, fmt.Errorf("rows must be non-empty with %d columns", shape.Size())
+		}
+		// Every row must match the domain: a single ragged row would
+		// otherwise reach the dense constructor undetected.
+		for i, row := range req.Rows {
+			if len(row) != shape.Size() {
+				return nil, fmt.Errorf("row %d has %d columns, want %d", i, len(row), shape.Size())
+			}
 		}
 		return workload.FromMatrix("custom", shape, linalg.NewFromRows(req.Rows)), nil
 	default:
@@ -233,91 +382,92 @@ func (s *Server) buildWorkload(req *designRequest) (*workload.Workload, error) {
 	}
 }
 
-type answerRequest struct {
-	Strategy  string    `json:"strategy"`
-	Dataset   string    `json:"dataset"`
+// --- dataset registry endpoints ---
+
+type datasetRequest struct {
+	Name      string    `json:"name"`
 	Histogram []float64 `json:"histogram"`
-	Epsilon   float64   `json:"epsilon"`
-	Delta     float64   `json:"delta"`
-	Seed      int64     `json:"seed,omitempty"`
-	// Mode selects the release payload: "answers" (default) returns the m
-	// workload answers, "estimate" the n-cell histogram estimate.
-	Mode string `json:"mode,omitempty"`
+	// Cap is an optional per-dataset privacy budget cap; a zero or absent
+	// component is unlimited.
+	Cap *Budget `json:"cap,omitempty"`
 }
 
-type answerResponse struct {
-	Answers []float64 `json:"answers"`
-	Ledger  Budget    `json:"ledger"`
+type datasetResponse struct {
+	Name  string  `json:"name"`
+	Cells int     `json:"cells"`
+	Cap   *Budget `json:"cap,omitempty"`
 }
 
-func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req answerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
-	}
-	if req.Dataset == "" {
-		httpError(w, http.StatusBadRequest, "dataset name required for budget accounting")
-		return
-	}
-	if req.Mode != "" && req.Mode != "answers" && req.Mode != "estimate" {
-		httpError(w, http.StatusBadRequest, "mode %q not recognized (want answers or estimate)", req.Mode)
-		return
-	}
-	p := mm.Privacy{Epsilon: req.Epsilon, Delta: req.Delta}
-	if err := p.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	s.mu.RLock()
-	ent, ok := s.strategies[req.Strategy]
-	s.mu.RUnlock()
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown strategy %q", req.Strategy)
-		return
-	}
-	if len(req.Histogram) != ent.w.Cells() {
-		httpError(w, http.StatusBadRequest, "histogram has %d cells, workload expects %d", len(req.Histogram), ent.w.Cells())
-		return
-	}
-	seed := req.Seed
-	if seed == 0 {
-		s.mu.Lock()
-		s.seedSalt++
-		seed = s.seedSalt + 0x5eed
-		s.mu.Unlock()
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var ans []float64
-	var err error
-	if req.Mode == "estimate" {
-		ans, err = ent.mech.EstimateGaussian(req.Histogram, p, rng)
-	} else {
-		if ent.w.NumQueries() > maxAnswerRows {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				"workload has %d queries, past the %d-answer response cap; request mode \"estimate\" instead",
-				ent.w.NumQueries(), maxAnswerRows)
+type datasetInfo struct {
+	Cells     int     `json:"cells"`
+	Cap       *Budget `json:"cap,omitempty"`
+	Spent     Budget  `json:"spent"`
+	Remaining *Budget `json:"remaining,omitempty"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req datasetRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 			return
 		}
-		ans, err = ent.mech.AnswerGaussian(ent.w, req.Histogram, p, rng)
+		// Validate up front so the cap is never installed for a
+		// registration that cannot complete.
+		if req.Name == "" {
+			httpError(w, http.StatusBadRequest, "registry: dataset name required")
+			return
+		}
+		if len(req.Histogram) == 0 {
+			httpError(w, http.StatusBadRequest, "registry: dataset %q has an empty histogram", req.Name)
+			return
+		}
+		s.regMu.Lock()
+		defer s.regMu.Unlock()
+		if _, err := s.reg.Get(req.Name); err == nil {
+			// Refuse before touching the accountant: a failed duplicate
+			// registration must not alter the existing dataset's cap.
+			httpError(w, http.StatusConflict, "%v: %q", registry.ErrExists, req.Name)
+			return
+		}
+		// Install the cap before the dataset becomes visible to releases:
+		// a release can only reserve after reg.Get succeeds, so it always
+		// sees the cap.
+		if req.Cap != nil {
+			s.acct.SetCap(req.Name, accountant.Budget{Epsilon: req.Cap.Epsilon, Delta: req.Cap.Delta})
+		}
+		if err := s.reg.Put(req.Name, req.Histogram); err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, registry.ErrExists) {
+				code = http.StatusConflict
+			}
+			httpError(w, code, "%v", err)
+			return
+		}
+		writeJSON(w, datasetResponse{Name: req.Name, Cells: len(req.Histogram), Cap: req.Cap})
+	case http.MethodGet:
+		out := map[string]datasetInfo{}
+		for _, name := range s.reg.Names() {
+			d, err := s.reg.Get(name)
+			if err != nil {
+				continue
+			}
+			info := datasetInfo{Cells: d.Cells(), Spent: fromAcct(s.acct.Spent(name))}
+			if cap, ok := s.acct.Cap(name); ok {
+				b := fromAcct(cap)
+				info.Cap = &b
+			}
+			if rem, ok := s.acct.Remaining(name); ok {
+				b := fromAcct(rem)
+				info.Remaining = &b
+			}
+			out[name] = info
+		}
+		writeJSON(w, out)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "POST or GET required")
 	}
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	// Charge the ledger only after a successful release.
-	s.mu.Lock()
-	b := s.ledger[req.Dataset]
-	b.Epsilon += p.Epsilon
-	b.Delta += p.Delta
-	s.ledger[req.Dataset] = b
-	s.mu.Unlock()
-
-	writeJSON(w, answerResponse{Answers: ans, Ledger: b})
 }
 
 func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
@@ -325,12 +475,16 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.RLock()
-	out := make(map[string]Budget, len(s.ledger))
-	for k, v := range s.ledger {
-		out[k] = v
+	out := map[string]Budget{}
+	for _, name := range s.acct.Datasets() {
+		spent := s.acct.Spent(name)
+		if spent.Epsilon == 0 && spent.Delta == 0 {
+			// Tracked but never charged (e.g. only refunded releases):
+			// not yet part of the spend ledger.
+			continue
+		}
+		out[name] = fromAcct(spent)
 	}
-	s.mu.RUnlock()
 	writeJSON(w, out)
 }
 
