@@ -5,7 +5,10 @@
 // from /release. The server tracks and *enforces* privacy spend per dataset
 // — a release that would exceed a dataset's cap is refused with HTTP 429
 // and the remaining budget. Unseeded releases draw crypto-seeded noise;
-// pass "seed" for reproducible experiments.
+// "seed" pins a reproducible stream for inline ad-hoc histograms only.
+// Releases against registered datasets refuse pinned seeds (a known seed
+// lets the requester subtract the noise and recover the exact data);
+// -allow-seeded-releases re-enables them on single-user debug servers.
 //
 //	amserve -addr :8080
 //	curl -X POST localhost:8080/design   -d '{"workload":"allrange:8x16"}'
@@ -31,9 +34,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	allowSeeded := flag.Bool("allow-seeded-releases", false,
+		"DEBUG ONLY: honor client-pinned noise seeds on registered datasets (lets the requester reconstruct the noise and defeat the privacy budget)")
 	flag.Parse()
+	srv := server.NewWithOptions(server.Options{AllowSeededReleases: *allowSeeded})
+	if *allowSeeded {
+		log.Printf("WARNING: seeded releases enabled; registered-dataset privacy budgets are NOT enforceable against the seeding client")
+	}
 	log.Printf("amserve listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, server.New().Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -26,9 +26,12 @@ import (
 	"sync"
 )
 
-// slack absorbs float round-off when summing many small charges against a
-// cap (e.g. ten reservations of 0.1 against a cap of 1.0 must all fit).
-const slack = 1e-9
+// slackRel absorbs float round-off when summing many small charges
+// against a cap (e.g. ten reservations of 0.1 against a cap of 1.0 must
+// all fit). It is relative to the cap: summation error scales with the
+// cap's magnitude, and an absolute tolerance would dwarf realistic δ caps
+// (1e-10 and below), silently admitting many over-cap releases.
+const slackRel = 1e-9
 
 // Budget is a privacy budget or spend under (ε,δ)-differential privacy.
 type Budget struct {
@@ -94,14 +97,20 @@ func (a *Accountant) get(dataset string) *state {
 }
 
 // SetCap installs a budget cap for a dataset. A zero component of the cap
-// leaves that parameter unlimited. Existing spend is kept: lowering a cap
-// below what is already spent refuses all further reservations.
-func (a *Accountant) SetCap(dataset string, cap Budget) {
+// leaves that parameter unlimited; negative components are rejected (they
+// would silently read as unlimited — the dangerous typo for a cap).
+// Existing spend is kept: lowering a cap below what is already spent
+// refuses all further reservations.
+func (a *Accountant) SetCap(dataset string, cap Budget) error {
+	if cap.Epsilon < 0 || cap.Delta < 0 {
+		return fmt.Errorf("accountant: negative cap (ε=%g, δ=%g)", cap.Epsilon, cap.Delta)
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	st := a.get(dataset)
 	st.cap = cap
 	st.capped = true
+	return nil
 }
 
 // Cap returns the dataset's cap and whether one is set.
@@ -140,6 +149,23 @@ func (a *Accountant) Remaining(dataset string) (Budget, bool) {
 	return st.cap.sub(st.spent.add(st.reserved)), true
 }
 
+// Len returns the number of tracked datasets. Tracking state is never
+// evicted, so callers use Len to bound growth before admitting a release
+// under a brand-new name.
+func (a *Accountant) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.datasets)
+}
+
+// Tracked reports whether the dataset already has accountant state.
+func (a *Accountant) Tracked(dataset string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.datasets[dataset]
+	return ok
+}
+
 // Datasets returns the names of all tracked datasets, sorted.
 func (a *Accountant) Datasets() []string {
 	a.mu.Lock()
@@ -173,8 +199,8 @@ func (a *Accountant) Reserve(dataset string, p Budget) (*Reservation, error) {
 	st := a.get(dataset)
 	if st.capped {
 		claimed := st.spent.add(st.reserved)
-		overEps := st.cap.Epsilon > 0 && claimed.Epsilon+p.Epsilon > st.cap.Epsilon+slack
-		overDelta := st.cap.Delta > 0 && claimed.Delta+p.Delta > st.cap.Delta+slack
+		overEps := st.cap.Epsilon > 0 && claimed.Epsilon+p.Epsilon > st.cap.Epsilon*(1+slackRel)
+		overDelta := st.cap.Delta > 0 && claimed.Delta+p.Delta > st.cap.Delta*(1+slackRel)
 		if overEps || overDelta {
 			return nil, &OverBudgetError{
 				Dataset:   dataset,

@@ -159,4 +159,43 @@ func TestNegativeBudgetRejected(t *testing.T) {
 	if _, err := a.Reserve("d", Budget{Epsilon: -1}); err == nil {
 		t.Fatal("negative epsilon accepted")
 	}
+	// A negative cap component would silently read as unlimited.
+	if err := a.SetCap("d", Budget{Epsilon: -1}); err == nil {
+		t.Fatal("negative cap accepted")
+	}
+	if _, capped := a.Cap("d"); capped {
+		t.Fatal("rejected cap was installed")
+	}
+}
+
+// TestTinyDeltaCapEnforced: the round-off slack is relative to the cap.
+// An absolute slack of 1e-9 would dwarf a δ cap of 1e-10 and admit ~11
+// over-cap releases before refusing anything.
+func TestTinyDeltaCapEnforced(t *testing.T) {
+	a := New()
+	a.SetCap("d", Budget{Delta: 1e-10})
+	res, err := a.Reserve("d", Budget{Delta: 1e-10})
+	if err != nil {
+		t.Fatalf("exact-cap reservation refused: %v", err)
+	}
+	res.Commit()
+	if _, err := a.Reserve("d", Budget{Delta: 1e-10}); err == nil {
+		t.Fatal("second 1e-10 reservation admitted past a 1e-10 delta cap")
+	}
+}
+
+// TestLenAndTracked covers the growth-bounding probes.
+func TestLenAndTracked(t *testing.T) {
+	a := New()
+	if a.Len() != 0 || a.Tracked("d") {
+		t.Fatalf("empty accountant: len=%d tracked=%v", a.Len(), a.Tracked("d"))
+	}
+	res, err := a.Reserve("d", Budget{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Refund()
+	if a.Len() != 1 || !a.Tracked("d") {
+		t.Fatalf("after reserve: len=%d tracked=%v", a.Len(), a.Tracked("d"))
+	}
 }

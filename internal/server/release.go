@@ -29,9 +29,12 @@ type answerRequest struct {
 	Histogram []float64 `json:"histogram,omitempty"`
 	Epsilon   float64   `json:"epsilon"`
 	Delta     float64   `json:"delta"`
-	// Seed pins the noise stream for reproducible experiments. Absent
-	// (null) selects fresh crypto-seeded noise; an explicit 0 is a valid
-	// seed, not "absent".
+	// Seed pins the noise stream for reproducible experiments against
+	// inline (ad-hoc) histograms. Absent (null) selects fresh
+	// crypto-seeded noise; an explicit 0 is a valid seed, not "absent".
+	// Releases against registered datasets refuse pinned seeds: the
+	// requester could regenerate the stream, subtract the noise and
+	// recover the exact data while paying only the nominal ε.
 	Seed *int64 `json:"seed,omitempty"`
 	// Mode selects the release payload: "answers" (default) returns the m
 	// workload answers, "estimate" the n-cell histogram estimate.
@@ -59,9 +62,19 @@ func releaseErrorf(code int, format string, args ...any) *releaseError {
 
 // release runs one differentially private release end to end: validate,
 // resolve the dataset, reserve budget, draw noise, infer, and commit (or
-// refund on failure). It is the shared core of /answer and batch
-// /release.
+// refund on failure). It is the /answer entry point; the batch path calls
+// releaseWith directly with its strategy snapshot.
 func (s *Server) release(req *answerRequest) ([]float64, Budget, *releaseError) {
+	s.mu.RLock()
+	ent := s.strategies[req.Strategy]
+	s.mu.RUnlock()
+	return s.releaseWith(req, ent)
+}
+
+// releaseWith is the shared release core. ent is the caller's resolution
+// of req.Strategy (nil for unknown): the batch path passes its snapshot so
+// the aggregate payload pre-check and execution share one source of truth.
+func (s *Server) releaseWith(req *answerRequest, ent *entry) ([]float64, Budget, *releaseError) {
 	if req.Dataset == "" {
 		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "dataset name required for budget accounting")
 	}
@@ -72,54 +85,36 @@ func (s *Server) release(req *answerRequest) ([]float64, Budget, *releaseError) 
 	if err := p.Validate(); err != nil {
 		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "%v", err)
 	}
-	s.mu.RLock()
-	ent, ok := s.strategies[req.Strategy]
-	s.mu.RUnlock()
-	if !ok {
+	if ent == nil {
 		return nil, Budget{}, releaseErrorf(http.StatusNotFound, "unknown strategy %q", req.Strategy)
 	}
-
-	hist := req.Histogram
-	if hist == nil {
-		d, err := s.reg.Get(req.Dataset)
-		if err != nil {
-			if errors.Is(err, registry.ErrNotFound) {
-				return nil, Budget{}, releaseErrorf(http.StatusNotFound,
-					"dataset %q not registered; POST /datasets first or provide an inline histogram", req.Dataset)
-			}
-			return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "%v", err)
+	// Both modes share one response payload cap: m answers or n estimate
+	// cells, either can be the oversized one.
+	if req.Mode == "estimate" {
+		if ent.w.Cells() > maxAnswerRows {
+			return nil, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
+				"histogram estimate has %d cells, past the %d-value response cap; a domain this large cannot be released over HTTP — use the library API",
+				ent.w.Cells(), maxAnswerRows)
 		}
-		hist = d.Histogram
-	} else if _, err := s.reg.Get(req.Dataset); err == nil {
-		return nil, Budget{}, releaseErrorf(http.StatusBadRequest,
-			"dataset %q is registered; omit the inline histogram so releases answer the registered data", req.Dataset)
-	}
-	if len(hist) != ent.w.Cells() {
-		return nil, Budget{}, releaseErrorf(http.StatusBadRequest,
-			"histogram has %d cells, workload expects %d", len(hist), ent.w.Cells())
-	}
-	if req.Mode != "estimate" && ent.w.NumQueries() > maxAnswerRows {
+	} else if ent.w.NumQueries() > maxAnswerRows {
+		// Only point at estimate mode when it would actually fit.
+		hint := "; a workload this large cannot be released over HTTP — use the library API"
+		if ent.w.Cells() <= maxAnswerRows {
+			hint = "; request mode \"estimate\" instead"
+		}
 		return nil, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
-			"workload has %d queries, past the %d-answer response cap; request mode \"estimate\" instead",
-			ent.w.NumQueries(), maxAnswerRows)
+			"workload has %d queries, past the %d-answer response cap%s",
+			ent.w.NumQueries(), maxAnswerRows, hint)
 	}
 
-	// Reserve before drawing any noise: concurrent releases against one
-	// capped dataset can never jointly overspend, and a refused release
-	// costs nothing.
-	res, err := s.acct.Reserve(req.Dataset, accountant.Budget{Epsilon: p.Epsilon, Delta: p.Delta})
-	if err != nil {
-		var over *accountant.OverBudgetError
-		if errors.As(err, &over) {
-			rem := fromAcct(over.Remaining)
-			return nil, Budget{}, &releaseError{
-				code:      http.StatusTooManyRequests,
-				msg:       fmt.Sprintf("release refused: %v", err),
-				remaining: &rem,
-			}
-		}
-		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "%v", err)
+	hist, acctName, res, rerr := s.resolveAndReserve(req, ent, p)
+	if rerr != nil {
+		return nil, Budget{}, rerr
 	}
+	// Settle by defer: Refund after Commit is a no-op, and a panic in the
+	// mechanism can never leak a reservation that would permanently shrink
+	// the dataset's available budget.
+	defer res.Refund()
 
 	// Noise: deterministic only when the request pins a seed; the default
 	// is a crypto-seeded source, so "unseeded" releases are unpredictable
@@ -132,17 +127,89 @@ func (s *Server) release(req *answerRequest) ([]float64, Budget, *releaseError) 
 	}
 
 	var ans []float64
+	var err error
 	if req.Mode == "estimate" {
 		ans, err = ent.mech.EstimateGaussian(hist, p, noise)
 	} else {
 		ans, err = ent.mech.AnswerGaussian(ent.w, hist, p, noise)
 	}
 	if err != nil {
-		res.Refund()
 		return nil, Budget{}, releaseErrorf(http.StatusUnprocessableEntity, "%v", err)
 	}
 	res.Commit()
-	return ans, fromAcct(s.acct.Spent(req.Dataset)), nil
+	return ans, fromAcct(s.acct.Spent(acctName)), nil
+}
+
+// resolveAndReserve resolves the request's histogram and reserves its
+// budget while holding regMu, the same lock POST /datasets registers
+// under, so the registered/inline classification of a name and the
+// installation of its cap can never interleave with a reservation. It
+// returns the accountant key actually charged: registered releases charge
+// the dataset name (whose cap was installed before the dataset became
+// resolvable), inline releases charge adHocPrefix+name — a disjoint
+// namespace, so ad-hoc spend can neither pre-hollow a future cap nor
+// squat a name against future registration.
+func (s *Server) resolveAndReserve(req *answerRequest, ent *entry, p mm.Privacy) ([]float64, string, *accountant.Reservation, *releaseError) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+
+	hist := req.Histogram
+	acctName := adHocPrefix + req.Dataset
+	if hist == nil {
+		d, err := s.reg.Get(req.Dataset)
+		if err != nil {
+			if errors.Is(err, registry.ErrNotFound) {
+				return nil, "", nil, releaseErrorf(http.StatusNotFound,
+					"dataset %q not registered; POST /datasets first or provide an inline histogram", req.Dataset)
+			}
+			return nil, "", nil, releaseErrorf(http.StatusBadRequest, "%v", err)
+		}
+		hist = d.Histogram
+		acctName = req.Dataset
+	} else if _, err := s.reg.Get(req.Dataset); err == nil {
+		return nil, "", nil, releaseErrorf(http.StatusBadRequest,
+			"dataset %q is registered; omit the inline histogram so releases answer the registered data", req.Dataset)
+	}
+	if len(hist) != ent.w.Cells() {
+		return nil, "", nil, releaseErrorf(http.StatusBadRequest,
+			"histogram has %d cells, workload expects %d", len(hist), ent.w.Cells())
+	}
+	// Accountant entries are never evicted, so brand-new ad-hoc names are
+	// admitted only while the tracked-dataset count is under its bound —
+	// otherwise a client cycling fresh names grows the ledger without
+	// limit. regMu makes the check-then-reserve atomic.
+	if acctName != req.Dataset && !s.acct.Tracked(acctName) && s.acct.Len() >= maxTrackedDatasets {
+		return nil, "", nil, releaseErrorf(http.StatusInsufficientStorage,
+			"server is tracking its limit of %d dataset ledgers; reuse an existing dataset name or register the dataset", maxTrackedDatasets)
+	}
+	// A client-pinned seed lets the requester regenerate the noise stream,
+	// subtract it from the answers and recover the exact registered data —
+	// total privacy loss at nominal ε cost, nullifying the budget cap. The
+	// deterministic path stays available for inline ad-hoc data (which the
+	// client supplied in the first place) and behind a server-side debug
+	// flag; reproducible experiments belong in the library API.
+	if acctName == req.Dataset && req.Seed != nil && !s.allowSeeded {
+		return nil, "", nil, releaseErrorf(http.StatusForbidden,
+			"seed refused: pinned noise seeds would make releases against registered dataset %q predictable and defeat its privacy budget; omit the seed (or run the server with seeded releases explicitly enabled for debugging)", req.Dataset)
+	}
+
+	// Reserve before drawing any noise: concurrent releases against one
+	// capped dataset can never jointly overspend, and a refused release
+	// costs nothing.
+	res, err := s.acct.Reserve(acctName, accountant.Budget{Epsilon: p.Epsilon, Delta: p.Delta})
+	if err != nil {
+		var over *accountant.OverBudgetError
+		if errors.As(err, &over) {
+			rem := fromAcct(over.Remaining)
+			return nil, "", nil, &releaseError{
+				code:      http.StatusTooManyRequests,
+				msg:       fmt.Sprintf("release refused: %v", err),
+				remaining: &rem,
+			}
+		}
+		return nil, "", nil, releaseErrorf(http.StatusBadRequest, "%v", err)
+	}
+	return hist, acctName, res, nil
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -151,8 +218,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req answerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	ans, ledger, rerr := s.release(&req)
@@ -221,8 +287,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Releases) == 0 {
@@ -236,19 +301,26 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	// Bound the aggregate response, not just each entry: 256 entries near
 	// the per-request answer cap would buffer gigabytes before encoding.
-	// The whole batch gets the same payload budget as one /answer.
+	// The whole batch gets the same payload budget as one /answer. The
+	// strategy table is snapshot once: an entry whose strategy is unknown
+	// here fails with 404 even if a concurrent /design registers it before
+	// the entry would execute — otherwise such entries would bypass this
+	// aggregate cap.
+	ents := make([]*entry, len(req.Releases))
+	s.mu.RLock()
+	for i, item := range req.Releases {
+		ents[i] = s.strategies[item.Strategy]
+	}
+	s.mu.RUnlock()
 	var totalValues int
-	for _, item := range req.Releases {
-		s.mu.RLock()
-		ent, ok := s.strategies[item.Strategy]
-		s.mu.RUnlock()
-		if !ok {
-			continue // the entry will fail with 404 on its own
+	for i, item := range req.Releases {
+		if ents[i] == nil {
+			continue // failed below with 404, never executed
 		}
 		if item.Mode == "estimate" {
-			totalValues += ent.w.Cells()
+			totalValues += ents[i].w.Cells()
 		} else {
-			totalValues += ent.w.NumQueries()
+			totalValues += ents[i].w.NumQueries()
 		}
 	}
 	if totalValues > maxAnswerRows {
@@ -273,16 +345,32 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, item batchItem) {
 			defer wg.Done()
+			if ents[i] == nil {
+				// Snapshot miss: fail without burning a parallelism slot.
+				results[i] = batchResult{Index: i, Status: http.StatusNotFound,
+					Error: fmt.Sprintf("unknown strategy %q", item.Strategy)}
+				return
+			}
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ans, ledger, rerr := s.release(&answerRequest{
+			// Unlike /answer, these goroutines are not covered by net/http's
+			// handler recover: an uncaught mechanism panic would crash the
+			// whole server. Fail the one entry instead (its reservation is
+			// refunded by releaseWith's deferred settle).
+			defer func() {
+				if r := recover(); r != nil {
+					results[i] = batchResult{Index: i, Status: http.StatusInternalServerError,
+						Error: fmt.Sprintf("internal error: %v", r)}
+				}
+			}()
+			ans, ledger, rerr := s.releaseWith(&answerRequest{
 				Strategy: item.Strategy,
 				Dataset:  item.Dataset,
 				Epsilon:  item.Epsilon,
 				Delta:    item.Delta,
 				Seed:     item.Seed,
 				Mode:     item.Mode,
-			})
+			}, ents[i])
 			if rerr != nil {
 				results[i] = batchResult{Index: i, Status: rerr.code, Error: rerr.msg, Remaining: rerr.remaining}
 				return

@@ -5,10 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/strategy"
+	"adaptivemm/internal/wio"
 )
 
 // designOn posts a /design request and returns the decoded response.
@@ -266,6 +271,207 @@ func TestExplicitZeroSeedHonored(t *testing.T) {
 		if a1.Answers[i] != a2.Answers[i] {
 			t.Fatal("seed 0 produced different answers across releases")
 		}
+	}
+}
+
+// TestSeededReleaseRefusedOnRegisteredDataset: a client-pinned seed lets
+// the requester regenerate the noise stream and recover the exact
+// registered data at nominal ε cost, so the engine refuses it with 403
+// unless the server explicitly opts in for debugging.
+func TestSeededReleaseRefusedOnRegisteredDataset(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	d := designOn(t, ts, map[string]any{"workload": "identity:4"})
+	registerDataset(t, ts, "adult", []float64{1, 2, 3, 4}, &Budget{Epsilon: 2, Delta: 1e-3})
+
+	// Seeded release against registered data: refused, and nothing charged.
+	resp, body := post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "adult", "epsilon": 0.5, "delta": 1e-4, "seed": 42,
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("seeded registered release status %d: %s", resp.StatusCode, body)
+	}
+	resp2, err := http.Get(ts.URL + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var ledger map[string]Budget
+	if err := json.NewDecoder(resp2.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	if _, charged := ledger["adult"]; charged {
+		t.Fatalf("refused seeded release charged the ledger: %+v", ledger)
+	}
+
+	// The same seed on the batch path is refused per entry too.
+	resp, body = post(t, ts, "/release", map[string]any{
+		"releases": []map[string]any{
+			{"strategy": d.Strategy, "dataset": "adult", "epsilon": 0.5, "delta": 1e-4, "seed": 42},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Failed != 1 || br.Results[0].Status != http.StatusForbidden {
+		t.Fatalf("seeded batch entry not refused: %s", body)
+	}
+
+	// Unseeded releases against the registered dataset still work.
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "adult", "epsilon": 0.5, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unseeded registered release status %d: %s", resp.StatusCode, body)
+	}
+
+	// A debug server with AllowSeededReleases honors the seed again.
+	dbg := httptest.NewServer(NewWithOptions(Options{AllowSeededReleases: true}).Handler())
+	defer dbg.Close()
+	dd := designOn(t, dbg, map[string]any{"workload": "identity:4"})
+	registerDataset(t, dbg, "adult", []float64{1, 2, 3, 4}, nil)
+	resp, body = post(t, dbg, "/answer", map[string]any{
+		"strategy": dd.Strategy, "dataset": "adult", "epsilon": 0.5, "delta": 1e-4, "seed": 42,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug-server seeded release status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestCapValidation: negative cap components would read as "unlimited" in
+// the accountant, so a typo like {"epsilon": -1} must 400 instead of
+// silently uncapping the dataset; the all-zero cap is equally meaningless.
+func TestCapValidation(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	for i, cap := range []map[string]any{
+		{"epsilon": -1.0, "delta": 1e-3},
+		{"epsilon": 1.0, "delta": -1e-3},
+		{"epsilon": 0.0, "delta": 0.0},
+	} {
+		resp, body := post(t, ts, "/datasets", map[string]any{
+			"name": fmt.Sprintf("d%d", i), "histogram": []float64{1, 2}, "cap": cap,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("cap case %d accepted: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	// A legitimate one-sided cap still registers.
+	resp, body := post(t, ts, "/datasets", map[string]any{
+		"name": "ok", "histogram": []float64{1, 2}, "cap": map[string]any{"epsilon": 1.0},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("one-sided cap refused: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestAdHocSpendIsolatedFromRegisteredCap: inline releases are accounted
+// in the "adhoc:" namespace, so a client can neither pre-spend a name with
+// uncapped inline releases to hollow out a cap installed later, nor squat
+// a name to block its registration.
+func TestAdHocSpendIsolatedFromRegisteredCap(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	d := designOn(t, ts, map[string]any{"workload": "identity:4"})
+
+	// Heavy ad-hoc spend on the name before it exists as a dataset.
+	resp, body := post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "adult", "histogram": []float64{1, 2, 3, 4},
+		"epsilon": 5, "delta": 1e-3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ad-hoc release status %d: %s", resp.StatusCode, body)
+	}
+
+	// Registration still succeeds, with a cap far below the ad-hoc spend …
+	registerDataset(t, ts, "adult", []float64{9, 9, 9, 9}, &Budget{Epsilon: 1, Delta: 1e-3})
+
+	// … and the cap starts whole: a 0.9 release fits, the next one is
+	// refused — the prior ε=5 never counted against the registered budget.
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "adult", "epsilon": 0.9, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh-cap release status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "adult", "epsilon": 0.9, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap release status %d", resp.StatusCode)
+	}
+
+	// The ledger keeps the two spends apart.
+	resp2, err := http.Get(ts.URL + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var ledger map[string]Budget
+	if err := json.NewDecoder(resp2.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ledger["adhoc:adult"].Epsilon-5) > 1e-9 || math.Abs(ledger["adult"].Epsilon-0.9) > 1e-9 {
+		t.Fatalf("ad-hoc and registered spend not isolated: %+v", ledger)
+	}
+
+	// The ad-hoc namespace itself cannot be registered into.
+	resp, _ = post(t, ts, "/datasets", map[string]any{
+		"name": "adhoc:adult", "histogram": []float64{1, 2, 3, 4},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reserved-prefix registration status %d", resp.StatusCode)
+	}
+}
+
+// TestEstimatePayloadCap: mode "estimate" returns n values, so it must
+// honor the same response payload cap as answers mode — otherwise a
+// single /answer against a multi-million-cell domain would buffer tens of
+// MB of JSON the batch endpoint's aggregate check would refuse. The
+// strategy is installed directly (design on a 2^21-cell domain is too
+// slow for a test).
+func TestEstimatePayloadCap(t *testing.T) {
+	wl, err := wio.ParseWorkloadSpec("allrange:1024x1024x2", rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Cells() <= maxAnswerRows {
+		t.Fatalf("domain too small to exercise the cap: %d cells", wl.Cells())
+	}
+	mech, err := mm.NewMechanismOp(strategy.HierarchicalOperator(wl.Shape(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.strategies["s1"] = &entry{w: wl, mech: mech, form: "hierarchical", expected: map[mm.Privacy]float64{}}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, mode := range []string{"estimate", ""} {
+		resp, body := post(t, ts, "/answer", map[string]any{
+			"strategy": "s1", "dataset": "huge", "epsilon": 1, "delta": 1e-4, "mode": mode,
+		})
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("mode %q status %d: %s", mode, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestRegistryHistogramCap: registered histograms are retained forever,
+// so the registry refuses ones past the cell cap (they could not be
+// released over HTTP anyway).
+func TestRegistryHistogramCap(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, body := post(t, ts, "/datasets", map[string]any{
+		"name": "huge", "histogram": make([]float64, maxHistogramCells+1),
+	})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized histogram status %d: %s", resp.StatusCode, body)
 	}
 }
 

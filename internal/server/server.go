@@ -16,9 +16,16 @@
 // Repeated /design of the same workload spec returns the cached strategy
 // without re-running design.
 //
-// Release noise is drawn from a crypto-seeded source by default; a
+// Release noise is drawn from a crypto-seeded source by default. A
 // request may pin a deterministic seed (any value, including 0) for
-// reproducible experiments.
+// reproducible experiments against its own inline histogram only:
+// releases against registered datasets refuse pinned seeds (403), since a
+// requester who knows the seed can subtract the noise and recover the
+// exact data at nominal ε cost. Options.AllowSeededReleases re-enables
+// them for single-user debug servers. Inline releases are accounted in
+// the reserved "adhoc:" namespace, disjoint from registered names, so
+// ad-hoc spend can never pre-hollow a cap installed later for the same
+// name nor block its registration.
 //
 // Endpoints (JSON):
 //
@@ -36,7 +43,8 @@
 //	                mode "estimate" returns the n-cell private histogram
 //	                estimate instead of the m workload answers — the right
 //	                choice when m is in the millions. 429 with the
-//	                remaining budget when the release would exceed the cap.
+//	                remaining budget when the release would exceed the cap;
+//	                403 when a seed is pinned on a registered dataset.
 //	POST /release   {"releases": [{"strategy": id, "dataset": name, "epsilon": ...,
 //	                 "delta": ..., "seed": ..., "mode": ...}, ...], "parallelism": 8}
 //	                → {"results": [{"index": i, "status": 200, "answers": [...],
@@ -47,6 +55,7 @@
 //	                charged through the accountant independently (failed
 //	                entries are refunded, successful ones committed).
 //	GET  /ledger    → {"<dataset>": {"epsilon": ..., "delta": ...}, ...}  committed spend
+//	                (inline-histogram releases appear under "adhoc:<name>")
 package server
 
 import (
@@ -83,10 +92,35 @@ const analysisCap = 512
 // factored principal-vector design on large product domains.
 const principalK = 16
 
-// maxAnswerRows caps how many per-query answers one /answer request may
-// compute and serialize. Larger workloads must use mode "estimate" (the
-// n-cell histogram answers every query by post-processing anyway).
+// maxAnswerRows caps how many values (per-query answers or estimate
+// cells) one /answer request may compute and serialize.
 const maxAnswerRows = 1 << 20
+
+// adHocPrefix namespaces accountant entries for inline-histogram (ad-hoc)
+// releases away from registered dataset names. The separation means
+// ad-hoc spend on a name can never pre-hollow a cap installed later for
+// the registered dataset of the same name, nor block ("squat") its
+// registration; registered names may not start with the prefix.
+const adHocPrefix = "adhoc:"
+
+// Limits on permanent server state and request intake. Registered
+// histograms and accountant entries are never evicted, so each growth
+// path is bounded: without these an unauthenticated client could grow
+// the registry or the ad-hoc ledger until the server OOMs.
+const (
+	// maxRequestBody bounds every request body (histograms dominate:
+	// maxHistogramCells JSON numbers at ~25 bytes each fit comfortably).
+	maxRequestBody = 64 << 20
+	// maxHistogramCells bounds registered histograms; a larger domain
+	// could not be released over HTTP anyway (maxAnswerRows).
+	maxHistogramCells = maxAnswerRows
+	// maxRegisteredDatasets bounds POST /datasets registrations.
+	maxRegisteredDatasets = 4096
+	// maxTrackedDatasets bounds distinct accountant entries (registered +
+	// ad-hoc names); past it, releases under brand-new ad-hoc names are
+	// refused.
+	maxTrackedDatasets = 1 << 16
+)
 
 // Default privacy parameters applied independently when a /design request
 // omits one of them (they only drive the reported expected error).
@@ -111,11 +145,29 @@ type Server struct {
 
 	acct *accountant.Accountant
 	reg  *registry.Registry
-	// regMu serializes dataset registration so the cap is always
-	// installed in the accountant before the dataset becomes resolvable —
-	// otherwise a concurrent release could reserve unlimited budget in
-	// the window between Put and SetCap.
+	// regMu serializes dataset registration against the release path's
+	// resolve-and-reserve step (see resolveAndReserve), so a cap can
+	// never be bypassed by a release racing its installation and the cap
+	// is always installed before the dataset becomes resolvable.
 	regMu sync.Mutex
+
+	// allowSeeded permits client-pinned noise seeds on releases against
+	// registered datasets (see Options.AllowSeededReleases). Never enable
+	// on a server guarding shared data.
+	allowSeeded bool
+}
+
+// Options configures a Server.
+type Options struct {
+	// AllowSeededReleases permits client-pinned noise seeds on releases
+	// against registered datasets. A pinned seed lets the requester
+	// regenerate the noise stream locally, subtract it from the answers
+	// and recover the exact data while the accountant charges only the
+	// nominal ε — total privacy loss. This is a debug flag for
+	// single-user test servers only; reproducible experiments should use
+	// the library API, not the multi-user engine. Seeds on inline ad-hoc
+	// histograms are always allowed (the client supplied that data).
+	AllowSeededReleases bool
 }
 
 type entry struct {
@@ -137,13 +189,19 @@ type Budget struct {
 
 func fromAcct(b accountant.Budget) Budget { return Budget{Epsilon: b.Epsilon, Delta: b.Delta} }
 
-// New returns an empty server.
+// New returns an empty server with default (production) options.
 func New() *Server {
+	return NewWithOptions(Options{})
+}
+
+// NewWithOptions returns an empty server configured by opts.
+func NewWithOptions(opts Options) *Server {
 	return &Server{
-		strategies: map[string]*entry{},
-		cache:      map[string]string{},
-		acct:       accountant.New(),
-		reg:        registry.New(),
+		strategies:  map[string]*entry{},
+		cache:       map[string]string{},
+		acct:        accountant.New(),
+		reg:         registry.New(),
+		allowSeeded: opts.AllowSeededReleases,
 	}
 }
 
@@ -155,7 +213,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/answer", s.handleAnswer)
 	mux.HandleFunc("/release", s.handleRelease)
 	mux.HandleFunc("/ledger", s.handleLedger)
-	return mux
+	return http.MaxBytesHandler(mux, maxRequestBody)
+}
+
+// decodeJSON decodes the request body into v, writing the error response
+// (413 for oversized bodies, 400 otherwise) itself; callers just return
+// on false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds the %d-byte cap", mbe.Limit)
+		} else {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		}
+		return false
+	}
+	return true
 }
 
 type designRequest struct {
@@ -197,8 +271,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req designRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	// Default each privacy field independently: a request carrying only ε
@@ -409,8 +482,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		var req datasetRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		if !decodeJSON(w, r, &req) {
 			return
 		}
 		// Validate up front so the cap is never installed for a
@@ -419,9 +491,39 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "registry: dataset name required")
 			return
 		}
+		if strings.HasPrefix(req.Name, adHocPrefix) {
+			// The prefix is the accountant namespace for inline releases; a
+			// registered name inside it could collide with (and be charged
+			// by) some other name's ad-hoc spend.
+			httpError(w, http.StatusBadRequest,
+				"registry: dataset names starting with %q are reserved for ad-hoc release accounting", adHocPrefix)
+			return
+		}
 		if len(req.Histogram) == 0 {
 			httpError(w, http.StatusBadRequest, "registry: dataset %q has an empty histogram", req.Name)
 			return
+		}
+		if len(req.Histogram) > maxHistogramCells {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"registry: histogram has %d cells, past the %d-cell cap (larger domains cannot be released over HTTP)",
+				len(req.Histogram), maxHistogramCells)
+			return
+		}
+		if req.Cap != nil {
+			// The accountant treats non-positive components as unlimited,
+			// so a typo like {"epsilon": -1} would silently uncap the
+			// dataset; reject it, and reject the all-zero cap for the same
+			// reason (omit cap entirely for an unlimited dataset).
+			if req.Cap.Epsilon < 0 || req.Cap.Delta < 0 {
+				httpError(w, http.StatusBadRequest,
+					"registry: cap components must be non-negative, got (ε=%g, δ=%g)", req.Cap.Epsilon, req.Cap.Delta)
+				return
+			}
+			if req.Cap.Epsilon == 0 && req.Cap.Delta == 0 {
+				httpError(w, http.StatusBadRequest,
+					"registry: cap must bound at least one of ε, δ; omit the cap for an unlimited dataset")
+				return
+			}
 		}
 		s.regMu.Lock()
 		defer s.regMu.Unlock()
@@ -431,11 +533,23 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "%v: %q", registry.ErrExists, req.Name)
 			return
 		}
+		// Registered histograms are retained for the server's lifetime, so
+		// the registry is bounded too.
+		if s.reg.Len() >= maxRegisteredDatasets {
+			httpError(w, http.StatusInsufficientStorage,
+				"registry holds its limit of %d datasets", maxRegisteredDatasets)
+			return
+		}
 		// Install the cap before the dataset becomes visible to releases:
 		// a release can only reserve after reg.Get succeeds, so it always
 		// sees the cap.
 		if req.Cap != nil {
-			s.acct.SetCap(req.Name, accountant.Budget{Epsilon: req.Cap.Epsilon, Delta: req.Cap.Delta})
+			if err := s.acct.SetCap(req.Name, accountant.Budget{Epsilon: req.Cap.Epsilon, Delta: req.Cap.Delta}); err != nil {
+				// Unreachable after the validation above; refuse anyway
+				// rather than register uncapped.
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
 		}
 		if err := s.reg.Put(req.Name, req.Histogram); err != nil {
 			code := http.StatusBadRequest

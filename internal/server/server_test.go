@@ -92,7 +92,8 @@ func TestDesignAndAnswerFlow(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&ledger); err != nil {
 		t.Fatal(err)
 	}
-	if ledger["db1"].Epsilon != 0.75 {
+	// Inline-histogram releases are accounted in the ad-hoc namespace.
+	if ledger["adhoc:db1"].Epsilon != 0.75 {
 		t.Fatalf("ledger endpoint %+v", ledger)
 	}
 }
@@ -396,7 +397,7 @@ func TestConcurrentAnswersAndLedger(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 0.1 * workers * releases
-	if got := ledger["shared"].Epsilon; got < want-1e-9 || got > want+1e-9 {
+	if got := ledger["adhoc:shared"].Epsilon; got < want-1e-9 || got > want+1e-9 {
 		t.Fatalf("ledger epsilon = %g, want %g", got, want)
 	}
 }
