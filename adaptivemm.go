@@ -36,21 +36,38 @@
 // past ~1k cells keeps the eigen-structure in factored Kronecker form and
 // returns a matrix-free strategy; HierarchicalStrategy and
 // IdentityStrategy provide structured strategies at any scale with no
-// optimization cost. Inference automatically selects between a one-time
-// dense pseudo-inverse (small strategies, fastest per release) and
-// matrix-free conjugate-gradient least squares (structured or large
-// strategies, no O(n³) preprocessing) — see the internal/linalg operator
-// documentation for the representation guide.
+// optimization cost. The exact designs have hard admission caps (the
+// dense pipeline at 4096 cells, the factored exact design at 8192 —
+// past them the weighting program alone needs gigabytes) and Design
+// returns an error instead of attempting the allocation; use
+// DesignPrincipal or DesignAuto there, which scale to any product
+// domain.
+//
+// # The strategy planner
+//
+// Every Design* entry point routes through one cost-based planner
+// (shared with the amdesign CLI and the release-engine server). Design,
+// DesignSeparated and DesignPrincipal pin their generator; DesignAuto
+// lets the planner pick the family — the closed-form marginal designer
+// for marginal sets, exact eigen design within the design budget, the
+// factored principal-vector design for large product domains, or a
+// structured fallback — honoring PlanHints (design-time budget,
+// per-release latency target). The plan also fixes the inference method
+// explicitly: a one-time dense pseudo-inverse (small strategies, fastest
+// per release), matrix-free CGLS (structured or large strategies, no
+// O(n³) preprocessing), or normal-equations CG (very tall strategies).
+// Strategy.PlanInfo reports the decision.
 package adaptivemm
 
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
-	"adaptivemm/internal/core"
 	"adaptivemm/internal/domain"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/planner"
 	"adaptivemm/internal/strategy"
 	"adaptivemm/internal/workload"
 )
@@ -81,24 +98,29 @@ type Strategy struct {
 	mech *mm.Mechanism
 	// Eigenvalues of WᵀW when produced by Design; nil otherwise.
 	eigenvalues []float64
+	// plan is the planner artifact behind planner-built strategies; nil
+	// for hand-built ones (FromRowsStrategy, DesignL1, ...).
+	plan *planner.Plan
 }
 
 // Name returns a human-readable strategy label.
 func (s *Strategy) Name() string { return s.name }
 
 // Matrix returns the strategy's query matrix rows as a copy, materializing
-// structured (operator) strategies. It panics if the strategy is too large
-// to materialize; use Estimate/Answer, which never materialize.
-func (s *Strategy) Matrix() [][]float64 {
+// structured (operator) strategies when they fit the materialization cap.
+// It returns an error for strategies too large to densify — matrix-free
+// strategies from large domains would otherwise exhaust memory; use
+// Estimate/Answer, which never materialize.
+func (s *Strategy) Matrix() ([][]float64, error) {
 	a, err := s.mech.StrategyDense()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	out := make([][]float64, a.Rows())
 	for i := range out {
 		out[i] = append([]float64(nil), a.Row(i)...)
 	}
-	return out
+	return out, nil
 }
 
 // Answer performs one (ε,δ)-differentially private release: it answers the
@@ -121,56 +143,129 @@ func (s *Strategy) Error(w *Workload, p Privacy) (float64, error) {
 	return mm.Error(w, s.mech.Strategy(), p)
 }
 
-// DesignOption customizes Design.
-type DesignOption func(*core.Options)
+// defaultPlanner is the process-wide strategy planner every Design*
+// entry point routes through, so the library, the CLI tools and the
+// release-engine server all make strategy decisions the same way. No
+// plan cache: library workloads carry no canonical identity to key one
+// on (the server derives keys from its workload specs and caches there).
+var defaultPlanner = planner.New(planner.Config{})
+
+// DesignOption customizes Design by adjusting the planner hints.
+type DesignOption func(*planner.Hints)
 
 // WithFirstOrderSolver forces the scalable first-order optimizer, useful
 // for very large domains.
 func WithFirstOrderSolver() DesignOption {
-	return func(o *core.Options) { o.Solver = core.SolverFirstOrder }
+	return func(h *planner.Hints) { h.FirstOrder = true }
 }
 
-// Design runs the Eigen-Design algorithm on the workload and returns the
-// adapted strategy (Program 2 of the paper).
-func Design(w *Workload, opts ...DesignOption) (*Strategy, error) {
-	var o core.Options
-	for _, f := range opts {
-		f(&o)
+// PlanHints are the per-request hints DesignAuto passes to the cost-based
+// strategy planner.
+type PlanHints struct {
+	// MaxDesignTime bounds how long strategy design may take; generators
+	// whose modeled cost exceeds it are skipped in favor of cheaper ones
+	// (down to the free hierarchical and identity strategies). Zero
+	// applies the planner's default budget.
+	MaxDesignTime time.Duration
+	// LatencyTarget is the per-release latency to aim for; a tight target
+	// makes the plan buy the one-time dense pseudo-inverse when the
+	// strategy fits it.
+	LatencyTarget time.Duration
+	// FirstOrder forces the first-order solver in the optimizing
+	// generators.
+	FirstOrder bool
+}
+
+// PlanInfo reports how the planner arrived at a strategy.
+type PlanInfo struct {
+	// Generator names the winning strategy generator.
+	Generator string
+	// Note is the planner's one-line rationale.
+	Note string
+	// Inference is the chosen inference method ("dense-pinv", "cgls",
+	// "normal-cg").
+	Inference string
+	// ModeledCost is the winner's modeled design cost in work units.
+	ModeledCost float64
+	// DesignTime is the measured design time.
+	DesignTime time.Duration
+}
+
+// PlanInfo returns the planner's report for planner-built strategies
+// (Design, DesignSeparated, DesignPrincipal, DesignAuto); ok is false for
+// hand-built ones.
+func (s *Strategy) PlanInfo() (PlanInfo, bool) {
+	if s.plan == nil {
+		return PlanInfo{}, false
 	}
-	res, err := core.Design(w, o)
+	return PlanInfo{
+		Generator:   s.plan.Generator,
+		Note:        s.plan.Note,
+		Inference:   s.plan.Inference.String(),
+		ModeledCost: s.plan.ModeledCost,
+		DesignTime:  s.plan.DesignTime,
+	}, true
+}
+
+// DesignAuto lets the cost-based planner choose the strategy family for
+// the workload — exact eigen design, one of its Sec 4.2 approximations,
+// the closed-form marginal designer, or a structured fallback — honoring
+// the hints. It is the recommended entry point when the workload shape is
+// not known in advance.
+func DesignAuto(w *Workload, hints PlanHints) (*Strategy, error) {
+	plan, err := defaultPlanner.Plan(w, planner.Hints{
+		MaxDesignTime: hints.MaxDesignTime,
+		LatencyTarget: hints.LatencyTarget,
+		FirstOrder:    hints.FirstOrder,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return newStrategy("EigenDesign", res.Op, res.Eigenvalues)
+	return strategyFromPlan("Planner("+plan.Generator+")", plan), nil
+}
+
+// designForced plans with a named generator and shared hint options.
+func designForced(w *Workload, name, label string, h planner.Hints, opts []DesignOption) (*Strategy, error) {
+	h.Generator = name
+	for _, f := range opts {
+		f(&h)
+	}
+	plan, err := defaultPlanner.Plan(w, h)
+	if err != nil {
+		return nil, err
+	}
+	return strategyFromPlan(label, plan), nil
+}
+
+// Design runs the Eigen-Design algorithm on the workload and returns the
+// adapted strategy (Program 2 of the paper). Product-form workloads past
+// the planner's structured threshold run the factored matrix-free
+// pipeline automatically.
+func Design(w *Workload, opts ...DesignOption) (*Strategy, error) {
+	return designForced(w, "eigen", "EigenDesign", planner.Hints{}, opts)
 }
 
 // DesignSeparated runs the eigen-query separation optimization (Sec 4.2):
 // near-optimal strategies at a fraction of the optimization cost. A group
 // size near n^(1/3) balances the two optimization phases.
 func DesignSeparated(w *Workload, groupSize int, opts ...DesignOption) (*Strategy, error) {
-	var o core.Options
-	for _, f := range opts {
-		f(&o)
+	if groupSize < 1 {
+		return nil, fmt.Errorf("adaptivemm: group size %d < 1", groupSize)
 	}
-	res, err := core.EigenSeparation(w, groupSize, o)
-	if err != nil {
-		return nil, err
-	}
-	return newStrategy("EigenDesign(separated)", res.Op, res.Eigenvalues)
+	return designForced(w, "eigen-separation", "EigenDesign(separated)", planner.Hints{GroupSize: groupSize}, opts)
 }
 
 // DesignPrincipal runs the principal-vector optimization (Sec 4.2): only
 // the k most significant eigen-queries receive individual weights.
 func DesignPrincipal(w *Workload, k int, opts ...DesignOption) (*Strategy, error) {
-	var o core.Options
-	for _, f := range opts {
-		f(&o)
+	if k < 1 {
+		return nil, fmt.Errorf("adaptivemm: principal vector count %d < 1", k)
 	}
-	res, err := core.PrincipalVectors(w, k, o)
-	if err != nil {
-		return nil, err
-	}
-	return newStrategy("EigenDesign(principal)", res.Op, res.Eigenvalues)
+	return designForced(w, "principal-vectors", "EigenDesign(principal)", planner.Hints{PrincipalK: k}, opts)
+}
+
+func strategyFromPlan(label string, plan *planner.Plan) *Strategy {
+	return &Strategy{name: label, mech: plan.Mechanism, eigenvalues: plan.Eigenvalues, plan: plan}
 }
 
 // HierarchicalStrategy returns the b-ary hierarchical (tree) strategy of

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 var testPrivacy = Privacy{Epsilon: 0.5, Delta: 1e-4}
@@ -145,9 +146,50 @@ func TestStrategyMatrixIsCopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := s.Matrix()
+	m, err := s.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
 	m[0][0] = 12345
-	if s.Matrix()[0][0] == 12345 {
+	m2, err := s.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2[0][0] == 12345 {
 		t.Fatal("Matrix() exposed internal state")
+	}
+}
+
+// A matrix-free strategy over a huge domain must refuse densification
+// with an error instead of exhausting memory.
+func TestStrategyMatrixRefusesHugeOperators(t *testing.T) {
+	s, err := HierarchicalStrategy(2, 2048, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Matrix(); err == nil {
+		t.Fatal("Matrix() of a ~4M-cell matrix-free strategy did not error")
+	}
+}
+
+// The planner-backed public API reports its decision and honors hints.
+func TestDesignAutoPlanInfo(t *testing.T) {
+	s, err := DesignAuto(Marginals(2, 4, 4, 2), PlanHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := s.PlanInfo()
+	if !ok {
+		t.Fatal("planner-built strategy has no plan info")
+	}
+	if info.Generator != "marginals" {
+		t.Fatalf("generator = %q, want marginals (closed-form optimal)", info.Generator)
+	}
+	big, err := DesignAuto(AllRange(2048), PlanHints{MaxDesignTime: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := big.PlanInfo(); info.Generator != "hierarchical" {
+		t.Fatalf("tight-budget generator = %q, want hierarchical", info.Generator)
 	}
 }

@@ -44,8 +44,19 @@ func main() {
 		parallel     = flag.Int("parallel", 8, "server-side parallelism for -releasebench")
 		benchMode    = flag.String("benchmode", "estimate", "release mode for -releasebench: answers | estimate")
 		benchOut     = flag.String("benchout", "BENCH_release.json", "trajectory file for -releasebench results (empty to skip writing)")
+
+		planBench    = flag.String("planbench", "", "workload spec (or 'all'): benchmark planner generator selection and design latency")
+		planBenchOut = flag.String("planbenchout", "BENCH_plan.json", "trajectory file for -planbench results (empty to skip writing)")
 	)
 	flag.Parse()
+
+	if *planBench != "" {
+		if err := runPlanBench(*planBench, *planBenchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ambench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *releaseBench != "" {
 		if err := runReleaseBench(*releaseBench, *benchMode, *requests, *batch, *parallel, *benchOut); err != nil {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/planner"
+	"adaptivemm/internal/wio"
+)
+
+// planBenchResult is one design-path measurement: how long generator
+// selection and the full planning run take for a workload spec, which
+// generator wins, and the error it promises. Appended to BENCH_plan.json
+// so successive PRs can track the design path alongside release
+// throughput.
+type planBenchResult struct {
+	Spec          string  `json:"spec"`
+	Generator     string  `json:"generator"`
+	Inference     string  `json:"inference"`
+	ModeledCost   float64 `json:"modeledCost"`
+	SelectMicros  float64 `json:"selectMicros"`
+	DesignSeconds float64 `json:"designSeconds"`
+	// ExpectedError is omitted (not 0 = "perfect") when the domain is past
+	// the analysis cap and the O(n³) error analysis was skipped.
+	ExpectedError float64 `json:"expectedError,omitempty"`
+}
+
+// planBenchSuite is the default spec set for -planbench all: one per
+// planner regime (small dense exact, large 1-D structured, large product
+// factored, closed-form marginals).
+var planBenchSuite = []string{
+	"prefix:256",
+	"allrange:2048",
+	"allrange:64x64",
+	"marginals:2:8x8x4",
+}
+
+// runPlanBench measures generator-selection latency (Explain, averaged
+// over selectIters runs) and full planning latency (one Plan build) for
+// each spec, appending the results to the trajectory file.
+func runPlanBench(spec string, outPath string) error {
+	specs := []string{spec}
+	if spec == "all" {
+		specs = planBenchSuite
+	}
+	p := mm.Privacy{Epsilon: 0.5, Delta: 1e-4}
+	const selectIters = 64
+	for _, sp := range specs {
+		w, err := wio.ParseWorkloadSpec(sp, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return err
+		}
+		pl := planner.New(planner.Config{})
+		hints := planner.Hints{Privacy: p}
+
+		start := time.Now()
+		for i := 0; i < selectIters; i++ {
+			if _, err := pl.Explain(w, hints); err != nil {
+				return fmt.Errorf("planbench %s: %v", sp, err)
+			}
+		}
+		selectMicros := float64(time.Since(start).Microseconds()) / selectIters
+
+		start = time.Now()
+		plan, err := pl.Plan(w, hints)
+		if err != nil {
+			return fmt.Errorf("planbench %s: %v", sp, err)
+		}
+		designSeconds := time.Since(start).Seconds()
+		expected, err := plan.ExpectedError(p)
+		if err != nil {
+			return err
+		}
+
+		res := planBenchResult{
+			Spec:          sp,
+			Generator:     plan.Generator,
+			Inference:     plan.Inference.String(),
+			ModeledCost:   plan.ModeledCost,
+			SelectMicros:  selectMicros,
+			DesignSeconds: designSeconds,
+			ExpectedError: expected,
+		}
+		errNote := fmt.Sprintf("err %.4g", expected)
+		if expected == 0 {
+			errNote = "err skipped (past analysis cap)"
+		}
+		fmt.Printf("plan bench: %-18s → %-17s select %.1fµs, design %.3fs (modeled %.3g), %s\n",
+			sp, plan.Generator, selectMicros, designSeconds, plan.ModeledCost, errNote)
+		if outPath != "" {
+			if err := appendBenchResult(outPath, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

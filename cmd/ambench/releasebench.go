@@ -113,16 +113,21 @@ func runReleaseBench(spec, mode string, requests, batch, parallelism int, outPat
 }
 
 // appendBenchResult appends one measurement to a JSON-array trajectory
-// file, creating it when absent.
-func appendBenchResult(path string, res releaseBenchResult) error {
-	var results []releaseBenchResult
+// file, creating it when absent. Entries already in the file are kept
+// verbatim, so one trajectory can mix measurement shapes across PRs.
+func appendBenchResult(path string, res any) error {
+	var results []json.RawMessage
 	if raw, err := os.ReadFile(path); err == nil {
 		// A corrupt or foreign file should not be silently destroyed.
 		if err := json.Unmarshal(raw, &results); err != nil {
 			return fmt.Errorf("bench trajectory %s exists but is not a result array: %v", path, err)
 		}
 	}
-	results = append(results, res)
+	entry, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	results = append(results, entry)
 	out, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err

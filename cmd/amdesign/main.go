@@ -15,6 +15,13 @@
 // answers, and -strategy-out strategy.csv to save the designed strategy.
 //
 //	amdesign -workload allrange:8x16 -eps 0.5 -delta 1e-4 -data counts.csv
+//
+// Strategy selection goes through the unified cost-based planner: by
+// default the planner picks the generator (exact eigen, separation,
+// principal-vectors, closed-form marginals, hierarchical, identity) by
+// expected error within the design budget; -generator forces one, and
+// -max-design-ms / -latency-ms tighten the budget. -explain prints every
+// candidate's admission outcome.
 package main
 
 import (
@@ -22,27 +29,33 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"adaptivemm/internal/core"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/planner"
 	"adaptivemm/internal/wio"
 	"adaptivemm/internal/workload"
 )
 
 func main() {
 	var (
-		spec       = flag.String("workload", "", "workload spec, e.g. allrange:8x16, marginals:2:8x8x4, prefix:256, fig1")
-		csvPath    = flag.String("workload-csv", "", "CSV file of query rows (one query per line)")
-		shapeStr   = flag.String("shape", "", "domain shape for -workload-csv, e.g. 8x16")
-		eps        = flag.Float64("eps", 0.5, "privacy parameter ε")
-		delta      = flag.Float64("delta", 1e-4, "privacy parameter δ")
-		seed       = flag.Int64("seed", 1, "random seed")
-		dataPath   = flag.String("data", "", "histogram CSV; produces one private release")
-		stratOut   = flag.String("strategy-out", "", "write the designed strategy matrix to this CSV file")
-		separation = flag.Int("separation", 0, "use eigen-query separation with this group size")
-		principal  = flag.Int("principal", 0, "use the principal-vector optimization with k vectors")
-		firstOrder = flag.Bool("first-order", false, "force the scalable first-order solver")
+		spec        = flag.String("workload", "", "workload spec, e.g. allrange:8x16, marginals:2:8x8x4, prefix:256, fig1")
+		csvPath     = flag.String("workload-csv", "", "CSV file of query rows (one query per line)")
+		shapeStr    = flag.String("shape", "", "domain shape for -workload-csv, e.g. 8x16")
+		eps         = flag.Float64("eps", 0.5, "privacy parameter ε")
+		delta       = flag.Float64("delta", 1e-4, "privacy parameter δ")
+		seed        = flag.Int64("seed", 1, "random seed")
+		dataPath    = flag.String("data", "", "histogram CSV; produces one private release")
+		stratOut    = flag.String("strategy-out", "", "write the designed strategy matrix to this CSV file")
+		generator   = flag.String("generator", "", "force a planner generator (eigen, eigen-separation, principal-vectors, marginals, hierarchical, identity)")
+		separation  = flag.Int("separation", 0, "use eigen-query separation with this group size")
+		principal   = flag.Int("principal", 0, "use the principal-vector optimization with k vectors")
+		firstOrder  = flag.Bool("first-order", false, "force the scalable first-order solver")
+		maxDesignMS = flag.Int64("max-design-ms", 0, "design-time budget in milliseconds (0 = planner default)")
+		latencyMS   = flag.Int64("latency-ms", 0, "per-release latency target in milliseconds")
+		explain     = flag.Bool("explain", false, "print every generator's admission outcome")
 	)
 	flag.Parse()
 
@@ -56,63 +69,88 @@ func main() {
 		fail(err)
 	}
 
-	opts := core.Options{}
-	if *firstOrder {
-		opts.Solver = core.SolverFirstOrder
+	// Every entry point plans through the same pipeline the library API
+	// and the release-engine server use.
+	hints := planner.Hints{
+		Privacy:       p,
+		Generator:     *generator,
+		FirstOrder:    *firstOrder,
+		MaxDesignTime: time.Duration(*maxDesignMS) * time.Millisecond,
+		LatencyTarget: time.Duration(*latencyMS) * time.Millisecond,
+		AnalysisCap:   2048,
 	}
-	var res *core.Result
 	switch {
 	case *separation > 0:
-		res, err = core.EigenSeparation(w, *separation, opts)
+		hints.Generator = "eigen-separation"
+		hints.GroupSize = *separation
 	case *principal > 0:
-		res, err = core.PrincipalVectors(w, *principal, opts)
-	default:
-		res, err = core.Design(w, opts)
+		hints.Generator = "principal-vectors"
+		hints.PrincipalK = *principal
 	}
+	pl := planner.New(planner.Config{})
+	plan, err := pl.Plan(w, hints)
 	if err != nil {
 		fail(err)
 	}
 
 	fmt.Printf("workload:        %s (%d queries, %d cells)\n", w.Name(), w.NumQueries(), w.Cells())
 	form := "dense"
-	if res.Strategy == nil {
+	if plan.Dense == nil {
 		form = "operator (matrix-free)"
 	}
-	fmt.Printf("strategy:        %d queries, rank %d, %s\n", res.Op.Rows(), res.Rank, form)
-	// The analytic error and lower bound need a dense n×n Gram and an
-	// O(n³) eigendecomposition — skip them past the analysis cap so huge
-	// matrix-free designs stay matrix-free.
-	const analysisCap = 2048
-	if w.Cells() <= analysisCap {
-		e, err := mm.Error(w, res.Op, p)
-		if err != nil {
-			fail(err)
+	fmt.Printf("strategy:        %d queries, %s\n", plan.Op.Rows(), form)
+	fmt.Printf("planner:         %s (modeled cost %.3g, design %s, inference %s)\n",
+		plan.Generator, plan.ModeledCost, plan.DesignTime.Round(time.Microsecond), plan.Inference)
+	fmt.Printf("                 %s\n", plan.Note)
+	if *explain {
+		for _, d := range plan.Decisions {
+			verdict := "rejected"
+			if d.Selected {
+				verdict = "selected"
+			} else if d.Admitted {
+				verdict = "admitted"
+			}
+			fmt.Printf("  %-18s %-8s %s\n", d.Generator, verdict, d.Reason)
 		}
-		lb, err := mm.LowerBound(w, p)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("expected RMSE:   %.4g  (ε=%g, δ=%g)\n", e, *eps, *delta)
-		fmt.Printf("lower bound:     %.4g  (ratio %.3f)\n", lb, e/lb)
-	} else {
-		fmt.Printf("expected RMSE:   skipped (%d cells > %d; analysis needs O(n³) dense algebra)\n", w.Cells(), analysisCap)
 	}
-	if len(res.Eigenvalues) > 0 {
-		fmt.Printf("Thm 3 ratio cap: %.3f\n", core.ApproxRatioBound(res.Eigenvalues))
+	e, err := plan.ExpectedError(p)
+	if err != nil {
+		fail(err)
+	}
+	if e > 0 {
+		fmt.Printf("expected RMSE:   %.4g  (ε=%g, δ=%g)\n", e, *eps, *delta)
+		lb := plan.LowerBound(p)
+		if lb == 0 {
+			// Generators without eigenvalues (hierarchical, identity)
+			// still deserve the ratio report: the Thm 2 bound depends on
+			// the workload alone, and the domain already passed the
+			// analysis cap to get here.
+			if lb, err = mm.LowerBound(w, p); err != nil {
+				fail(err)
+			}
+		}
+		if lb > 0 {
+			fmt.Printf("lower bound:     %.4g  (ratio %.3f)\n", lb, e/lb)
+		}
+	} else {
+		fmt.Printf("expected RMSE:   skipped (%d cells past the analysis cap; analysis needs O(n³) dense algebra)\n", w.Cells())
+	}
+	if len(plan.Eigenvalues) > 0 {
+		fmt.Printf("Thm 3 ratio cap: %.3f\n", core.ApproxRatioBound(plan.Eigenvalues))
 	}
 
 	if *stratOut != "" {
-		if res.Strategy == nil {
+		if plan.Dense == nil {
 			fail(fmt.Errorf("amdesign: structured strategy is matrix-free; -strategy-out requires a dense design (smaller domain)"))
 		}
-		if err := writeStrategy(*stratOut, res.Strategy); err != nil {
+		if err := writeStrategy(*stratOut, plan.Dense); err != nil {
 			fail(err)
 		}
 		fmt.Printf("strategy written to %s\n", *stratOut)
 	}
 
 	if *dataPath != "" {
-		if err := release(w, res.Op, *dataPath, p, r); err != nil {
+		if err := release(w, plan.Mechanism, *dataPath, p, r); err != nil {
 			fail(err)
 		}
 	}
@@ -156,7 +194,7 @@ func writeStrategy(path string, a *linalg.Matrix) error {
 	return wio.WriteMatrixCSV(f, a)
 }
 
-func release(w *workload.Workload, a linalg.Operator, dataPath string, p mm.Privacy, r *rand.Rand) error {
+func release(w *workload.Workload, mech *mm.Mechanism, dataPath string, p mm.Privacy, r *rand.Rand) error {
 	f, err := os.Open(dataPath)
 	if err != nil {
 		return err
@@ -168,10 +206,6 @@ func release(w *workload.Workload, a linalg.Operator, dataPath string, p mm.Priv
 	}
 	if len(x) != w.Cells() {
 		return fmt.Errorf("amdesign: histogram has %d cells, workload expects %d", len(x), w.Cells())
-	}
-	mech, err := mm.NewMechanismOp(a)
-	if err != nil {
-		return err
 	}
 	ans, err := mech.AnswerGaussian(w, x, p, r)
 	if err != nil {

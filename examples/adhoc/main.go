@@ -33,9 +33,14 @@ func main() {
 
 	p := adaptivemm.Privacy{Epsilon: 0.5, Delta: 1e-4}
 
-	s, err := adaptivemm.Design(combined)
+	// Arbitrary mixed workloads have no closed form or special structure:
+	// the planner falls back to the exact Eigen-Design here.
+	s, err := adaptivemm.DesignAuto(combined, adaptivemm.PlanHints{})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if info, ok := s.PlanInfo(); ok {
+		fmt.Printf("planner: %s (modeled cost %.3g)\n", info.Generator, info.ModeledCost)
 	}
 	adaptive, err := s.Error(combined, p)
 	if err != nil {

@@ -35,9 +35,14 @@ func main() {
 	fmt.Printf("workload: %d marginal cells\n", w.NumQueries())
 
 	p := adaptivemm.Privacy{Epsilon: 1.0, Delta: 1e-4}
-	s, err := adaptivemm.Design(w)
+	// The planner recognizes a union of marginal sets and selects the
+	// closed-form marginal designer: provably optimal, no O(n³) work.
+	s, err := adaptivemm.DesignAuto(w, adaptivemm.PlanHints{})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if info, ok := s.PlanInfo(); ok {
+		fmt.Printf("planner: %s — %s\n", info.Generator, info.Note)
 	}
 	expected, err := s.Error(w, p)
 	if err != nil {

@@ -38,7 +38,9 @@ func main() {
 
 	p := adaptivemm.Privacy{Epsilon: 0.5, Delta: 1e-4}
 
-	// Design a strategy adapted to this workload.
+	// Design a strategy adapted to this workload. Design routes through
+	// the cost-based planner with the exact eigen generator pinned;
+	// DesignAuto would let the planner choose the family itself.
 	s, err := adaptivemm.Design(w)
 	if err != nil {
 		log.Fatal(err)

@@ -36,10 +36,14 @@ func main() {
 
 	p := adaptivemm.Privacy{Epsilon: 0.5, Delta: 1e-4}
 
-	// Design the adaptive strategy and compare analytic error.
-	s, err := adaptivemm.Design(w)
+	// Let the cost-based planner pick the strategy family; at 128 cells
+	// it selects the exact Eigen-Design.
+	s, err := adaptivemm.DesignAuto(w, adaptivemm.PlanHints{})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if info, ok := s.PlanInfo(); ok {
+		fmt.Printf("planner: %s via %s inference — %s\n", info.Generator, info.Inference, info.Note)
 	}
 	adaptive, err := s.Error(w, p)
 	if err != nil {

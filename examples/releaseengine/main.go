@@ -53,7 +53,9 @@ func main() {
 	// workload has ~131k queries; design and inference stay matrix-free.
 	_, design := call(ts, "POST", "/design", map[string]any{"workload": "allrange:512"})
 	strategy := design["strategy"].(string)
-	fmt.Printf("designed %v: %v queries, form %v\n", strategy, design["queries"], design["form"])
+	planner := design["planner"].(map[string]any)
+	fmt.Printf("designed %v: %v queries, generator %v (modeled cost %v, inference %v)\n",
+		strategy, design["queries"], planner["generator"], planner["modeledCost"], planner["inference"])
 
 	// A repeated design of the same spec is served from the cache.
 	_, again := call(ts, "POST", "/design", map[string]any{"workload": "allrange:512"})

@@ -30,9 +30,28 @@ const (
 	SolverFirstOrder
 )
 
+// Pipeline selects the representation the design pipeline works in. Core
+// no longer decides this on its own: the cost-based planner
+// (internal/planner) owns the admission rule that sends large product-form
+// workloads down the factored pipeline, and requests it explicitly here.
+type Pipeline int
+
+const (
+	// PipelineDense is the dense pipeline: explicit design queries, an
+	// explicit strategy matrix (Result.Strategy set), O(n³) algebra.
+	PipelineDense Pipeline = iota
+	// PipelineFactored keeps the eigen-structure of a product (Kronecker)
+	// form workload factored per dimension and returns the strategy as a
+	// matrix-free operator (Result.Strategy nil, use Result.Op). It
+	// requires product form with at least two Gram factors, the L2
+	// weighting, and no custom design basis; Design returns an error
+	// otherwise (see FactoredEligible).
+	PipelineFactored
+)
+
 // Options configures the Eigen-Design algorithm. The zero value gives the
 // paper's default behaviour: eigen-query design set, L2/(ε,δ) weighting,
-// column completion enabled, automatic solver choice.
+// column completion enabled, automatic solver choice, dense pipeline.
 type Options struct {
 	// Solver picks the weighting optimizer.
 	Solver Solver
@@ -52,13 +71,8 @@ type Options struct {
 	// RankTol is the relative eigenvalue cutoff below which design queries
 	// are dropped (Sec 4.1). Default 1e-10.
 	RankTol float64
-	// StructuredThreshold is the cell count above which workloads in
-	// product (Kronecker) form keep their eigen-structure factored: the
-	// design runs on per-dimension eigendecompositions and returns the
-	// strategy as a matrix-free operator instead of a dense matrix.
-	// Default 1024. The L2 weighting only; L1 and custom design bases
-	// always use the dense pipeline.
-	StructuredThreshold int
+	// Pipeline selects the dense or factored (matrix-free) pipeline.
+	Pipeline Pipeline
 	// Barrier and FirstOrder tune the respective solvers.
 	Barrier    opt.BarrierOptions
 	FirstOrder opt.FirstOrderOptions
@@ -70,9 +84,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RankTol <= 0 {
 		o.RankTol = 1e-10
-	}
-	if o.StructuredThreshold <= 0 {
-		o.StructuredThreshold = 1024
 	}
 	return o
 }
@@ -106,9 +117,16 @@ type Result struct {
 func Design(w *workload.Workload, o Options) (*Result, error) {
 	o = o.withDefaults()
 	if o.DesignBasis != nil {
+		if o.Pipeline == PipelineFactored {
+			return nil, errors.New("core: custom design bases run the dense pipeline only")
+		}
 		return designWithBasis(w, o.DesignBasis, o)
 	}
-	if fe, ok := factoredEigenFor(w, o); ok {
+	if o.Pipeline == PipelineFactored {
+		fe, err := factoredEigen(w, o)
+		if err != nil {
+			return nil, err
+		}
 		return designFactored(fe, o)
 	}
 

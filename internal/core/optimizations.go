@@ -20,7 +20,11 @@ func EigenSeparation(w *workload.Workload, groupSize int, o Options) (*Result, e
 	if groupSize < 1 {
 		return nil, fmt.Errorf("core: group size %d < 1", groupSize)
 	}
-	if fe, ok := factoredEigenFor(w, o); ok {
+	if o.Pipeline == PipelineFactored {
+		fe, err := factoredEigen(w, o)
+		if err != nil {
+			return nil, err
+		}
 		return separationFactored(fe, groupSize, o)
 	}
 	eg, err := gramEigen(w)
@@ -118,7 +122,11 @@ func PrincipalVectors(w *workload.Workload, k int, o Options) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: principal vector count %d < 1", k)
 	}
-	if fe, ok := factoredEigenFor(w, o); ok {
+	if o.Pipeline == PipelineFactored {
+		fe, err := factoredEigen(w, o)
+		if err != nil {
+			return nil, err
+		}
 		return principalFactored(fe, k, o)
 	}
 	eg, err := gramEigen(w)

@@ -10,10 +10,12 @@ import (
 )
 
 // This file implements the factored (matrix-free) branch of the
-// Eigen-Design pipeline. When a workload has product form — its Gram
-// matrix is a Kronecker product of per-dimension factors, as for
-// multi-dimensional all-range — the eigendecomposition is composed from
-// per-dimension decompositions (O(Σdᵢ³) instead of O(n³)) and, crucially,
+// Eigen-Design pipeline, selected explicitly via Options.Pipeline (the
+// cost-based planner owns the rule for when large product-form workloads
+// should take it). When a workload has product form — its Gram matrix is
+// a Kronecker product of per-dimension factors, as for multi-dimensional
+// all-range — the eigendecomposition is composed from per-dimension
+// decompositions (O(Σdᵢ³) instead of O(n³)) and, crucially,
 // never materialized: design queries are streamed one row at a time into
 // the weighting program, and the resulting strategy is returned as a
 // linalg.Operator
@@ -25,27 +27,40 @@ import (
 // consumes. This converts the old dense O(n²)-memory/O(n³)-time ceiling on
 // Design into a per-dimension cost.
 
-// factoredEigenFor returns the factored eigendecomposition of the
-// workload's Gram matrix when the structured pipeline applies: product
-// form with at least two factors, a domain past StructuredThreshold, the
-// L2 weighting, and no custom design basis.
-func factoredEigenFor(w *workload.Workload, o Options) (*linalg.FactoredEigen, bool) {
-	if o.L1 || o.DesignBasis != nil {
-		return nil, false
+// FactoredEligible reports whether the factored pipeline can run on w:
+// product (Kronecker) form with at least two Gram factors. The planner
+// uses it as an admission predicate; whether a given domain size *should*
+// go factored is the planner's call, not core's.
+func FactoredEligible(w *workload.Workload) bool {
+	factors, ok := w.GramFactors()
+	return ok && len(factors) >= 2
+}
+
+// factoredEigen returns the factored eigendecomposition of the workload's
+// Gram matrix for an explicitly requested PipelineFactored run. It errors
+// when the pipeline does not apply: the factored branch needs product
+// form with at least two factors, the L2 weighting, and the eigen design
+// set (no custom basis).
+func factoredEigen(w *workload.Workload, o Options) (*linalg.FactoredEigen, error) {
+	if o.L1 {
+		return nil, errors.New("core: the factored pipeline supports only the L2 weighting")
+	}
+	if o.DesignBasis != nil {
+		return nil, errors.New("core: the factored pipeline uses the eigen design set; custom bases are dense-only")
 	}
 	factors, ok := w.GramFactors()
-	if !ok || len(factors) < 2 || w.Cells() <= o.StructuredThreshold {
-		return nil, false
+	if !ok || len(factors) < 2 {
+		return nil, fmt.Errorf("core: workload %q has no product (Kronecker) Gram form; the factored pipeline needs per-dimension factors", w.Name())
 	}
 	parts := make([]*linalg.EigenSym, len(factors))
 	for i, f := range factors {
 		eg, err := linalg.SymEigen(f)
 		if err != nil {
-			return nil, false // fall back to the dense pipeline's error path
+			return nil, err
 		}
 		parts[i] = eg
 	}
-	return linalg.KronEigenFactored(parts...), true
+	return linalg.KronEigenFactored(parts...), nil
 }
 
 // designFactored is the exact Program 2 on a factored eigenbasis: every

@@ -10,13 +10,6 @@ import (
 	"adaptivemm/internal/workload"
 )
 
-// lowThreshold forces the factored pipeline at test-friendly sizes;
-// highThreshold forces the dense pipeline on the same workload.
-const (
-	lowThreshold  = 10
-	highThreshold = 1 << 30
-)
-
 var structuredPrivacy = mm.Privacy{Epsilon: 0.5, Delta: 1e-4}
 
 func workloadError(t *testing.T, w *workload.Workload, op linalg.Operator) float64 {
@@ -42,7 +35,7 @@ func TestFactoredMatchesDense(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			fact, err := c.run(Options{StructuredThreshold: lowThreshold})
+			fact, err := c.run(Options{Pipeline: PipelineFactored})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -52,7 +45,7 @@ func TestFactoredMatchesDense(t *testing.T) {
 			if fact.Op == nil {
 				t.Fatal("factored result has no operator")
 			}
-			dense, err := c.run(Options{StructuredThreshold: highThreshold})
+			dense, err := c.run(Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -80,11 +73,11 @@ func TestFactoredMatchesDense(t *testing.T) {
 // the server's lower-bound report).
 func TestFactoredEigenvaluesMatchDense(t *testing.T) {
 	w := workload.AllRange(domain.MustShape(8, 10))
-	fact, err := PrincipalVectors(w, 4, Options{StructuredThreshold: lowThreshold})
+	fact, err := PrincipalVectors(w, 4, Options{Pipeline: PipelineFactored})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dense, err := PrincipalVectors(w, 4, Options{StructuredThreshold: highThreshold})
+	dense, err := PrincipalVectors(w, 4, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,19 +91,30 @@ func TestFactoredEigenvaluesMatchDense(t *testing.T) {
 	}
 }
 
-// One-dimensional and small workloads must never take the factored branch.
-func TestFactoredGate(t *testing.T) {
-	if _, ok := factoredEigenFor(workload.AllRange(domain.MustShape(4096)), Options{}.withDefaults()); ok {
-		t.Fatal("1-D workload took the factored branch")
+// The factored pipeline is explicit-request only: requesting it on an
+// ineligible workload (no product form, L1 weighting, custom basis) must
+// error instead of silently running dense, and the eligibility predicate
+// the planner keys on must agree.
+func TestFactoredPipelineEligibility(t *testing.T) {
+	oneD := workload.AllRange(domain.MustShape(4096))
+	if FactoredEligible(oneD) {
+		t.Fatal("1-D workload reported factored-eligible")
 	}
-	if _, ok := factoredEigenFor(workload.AllRange(domain.MustShape(8, 8)), Options{}.withDefaults()); ok {
-		t.Fatal("small workload took the factored branch")
+	if _, err := Design(oneD, Options{Pipeline: PipelineFactored}); err == nil {
+		t.Fatal("factored design of a 1-D workload did not error")
 	}
-	o := Options{L1: true, StructuredThreshold: lowThreshold}.withDefaults()
-	if _, ok := factoredEigenFor(workload.AllRange(domain.MustShape(12, 12)), o); ok {
-		t.Fatal("L1 weighting took the factored branch")
+	twoD := workload.AllRange(domain.MustShape(12, 12))
+	if !FactoredEligible(twoD) {
+		t.Fatal("product-form workload not reported factored-eligible")
 	}
-	if _, ok := factoredEigenFor(workload.AllRange(domain.MustShape(12, 12)), Options{StructuredThreshold: lowThreshold}.withDefaults()); !ok {
-		t.Fatal("eligible workload did not take the factored branch")
+	if _, err := Design(twoD, Options{Pipeline: PipelineFactored, L1: true}); err == nil {
+		t.Fatal("factored design under L1 did not error")
+	}
+	basis := linalg.Identity(twoD.Cells())
+	if _, err := Design(twoD, Options{Pipeline: PipelineFactored, DesignBasis: basis}); err == nil {
+		t.Fatal("factored design with a custom basis did not error")
+	}
+	if _, err := factoredEigen(twoD, Options{}.withDefaults()); err != nil {
+		t.Fatalf("eligible workload refused the factored branch: %v", err)
 	}
 }

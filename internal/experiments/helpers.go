@@ -8,6 +8,7 @@ import (
 	"adaptivemm/internal/domain"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/planner"
 	"adaptivemm/internal/workload"
 )
 
@@ -100,8 +101,16 @@ func binaryShape(k int) domain.Shape {
 }
 
 // designError runs the Eigen-Design algorithm and reports the resulting
-// workload error along with the design wall time.
+// workload error along with the design wall time. A zero Pipeline means
+// "auto" here: plain L2 eigen runs apply the planner's
+// structured-threshold admission rule, so full-scale range panels take
+// the factored pipeline exactly as the planner would. An experiment that
+// must measure the dense pipeline on a factored-eligible workload should
+// call core.Design directly, where PipelineDense is honored literally.
 func designError(w *workload.Workload, p mm.Privacy, o core.Options) (float64, time.Duration, error) {
+	if o.Pipeline == core.PipelineDense && !o.L1 && o.DesignBasis == nil {
+		o.Pipeline = planner.PipelineFor(w)
+	}
 	start := time.Now()
 	res, err := core.Design(w, o)
 	if err != nil {

@@ -14,11 +14,12 @@ import (
 // Result.Strategy is nil. designError must evaluate the operator result
 // rather than panicking on the nil dense matrix.
 func TestDesignErrorOnStructuredWorkload(t *testing.T) {
-	// A lowered threshold forces the factored branch at test-friendly size;
-	// at full scale the range panels cross the default threshold the same way.
+	// An explicit factored request forces the branch at test-friendly
+	// size; at full scale the range panels cross the planner's structured
+	// threshold and designError selects it the same way.
 	w := workload.AllRange(domain.MustShape(12, 12))
 	e, _, err := designError(w, mm.Privacy{Epsilon: 0.5, Delta: 1e-4},
-		core.Options{StructuredThreshold: 10})
+		core.Options{Pipeline: core.PipelineFactored})
 	if err != nil {
 		t.Fatal(err)
 	}

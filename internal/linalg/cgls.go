@@ -93,6 +93,15 @@ func SolveNormalCG(a Operator, b []float64, o CGOptions) ([]float64, error) {
 	if len(b) != n {
 		panic(fmt.Sprintf("linalg: SolveNormalCG rhs length %d, want %d", len(b), n))
 	}
+	return symCG(func(p []float64) []float64 { return a.MulVecT(a.MulVec(p)) }, b, o)
+}
+
+// symCG is the shared plain-CG core for a symmetric positive-semidefinite
+// map presented as a matvec. Starting from x₀ = 0 the iterates stay in
+// the Krylov span of b, so for consistent systems the result converges to
+// the minimum-norm solution.
+func symCG(matvec func([]float64) []float64, b []float64, o CGOptions) ([]float64, error) {
+	n := len(b)
 	o = o.withDefaults(n)
 
 	x := make([]float64, n)
@@ -104,7 +113,7 @@ func SolveNormalCG(a Operator, b []float64, o CGOptions) ([]float64, error) {
 	}
 	tol2 := o.Tol * o.Tol * rr
 	for it := 0; it < o.MaxIter; it++ {
-		gp := a.MulVecT(a.MulVec(p))
+		gp := matvec(p)
 		pgp := dot(p, gp)
 		if pgp <= 0 {
 			break // numerical null-space direction
@@ -129,6 +138,24 @@ func SolveNormalCG(a Operator, b []float64, o CGOptions) ([]float64, error) {
 		rr = rrNew
 	}
 	return x, nil
+}
+
+// SolveSymCG solves g·x = b for a symmetric positive-semidefinite dense
+// matrix g by plain conjugate gradients. Starting from x₀ = 0 the iterates
+// stay in the Krylov span of b, so for a consistent system (b ∈ range(g))
+// the result converges to the minimum-norm solution g⁺b. It is the
+// normal-equations inference path: with g = AᵀA computed once, each solve
+// costs O(n²) per iteration independent of the strategy's row count —
+// the right trade for very tall strategies.
+func SolveSymCG(g *Matrix, b []float64, o CGOptions) ([]float64, error) {
+	n := g.Rows()
+	if g.Cols() != n {
+		panic(fmt.Sprintf("linalg: SolveSymCG of non-square %dx%d", g.Rows(), g.Cols()))
+	}
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveSymCG rhs length %d, want %d", len(b), n))
+	}
+	return symCG(g.MulVec, b, o)
 }
 
 func dot(a, b []float64) float64 {

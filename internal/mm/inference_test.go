@@ -222,3 +222,67 @@ func TestBatchBeatsSplitBudget(t *testing.T) {
 		t.Fatalf("batch %g not better than split %g", batch, splitRMSE)
 	}
 }
+
+// Every explicit inference method must produce the same least-squares
+// estimate from the same noisy answers: the method is a performance
+// choice, never a semantic one.
+func TestInferenceMethodsAgree(t *testing.T) {
+	shape := domain.MustShape(24)
+	a := strategy.Hierarchical(shape, 2).A // tall: ~2n rows
+	x := make([]float64, 24)
+	for i := range x {
+		x[i] = float64((i*7 + 2) % 11)
+	}
+	methods := []Inference{InferDensePinv, InferCGLS, InferNormalCG}
+	var baseline []float64
+	for _, inf := range methods {
+		mech, err := NewMechanismInference(a, inf)
+		if err != nil {
+			t.Fatalf("%s: %v", inf, err)
+		}
+		if mech.Inference() != inf {
+			t.Fatalf("inference = %s, want %s", mech.Inference(), inf)
+		}
+		// Identical seed → identical noisy answers → the estimates must
+		// agree to solver tolerance.
+		xhat, err := mech.EstimateGaussian(x, testPrivacy, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatalf("%s: %v", inf, err)
+		}
+		if baseline == nil {
+			baseline = xhat
+			continue
+		}
+		for i := range xhat {
+			if math.Abs(xhat[i]-baseline[i]) > 1e-6*(1+math.Abs(baseline[i])) {
+				t.Fatalf("%s cell %d: %g vs dense-pinv %g", inf, i, xhat[i], baseline[i])
+			}
+		}
+	}
+}
+
+// InferAuto resolves by representation and size, and dense-pinv refuses
+// operators past the materialization cap instead of exhausting memory.
+func TestInferenceResolution(t *testing.T) {
+	small, err := NewMechanismOp(strategy.Hierarchical(domain.MustShape(8), 2).A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Inference() != InferDensePinv {
+		t.Fatalf("small dense resolved to %s", small.Inference())
+	}
+	structured, err := NewMechanismOp(strategy.HierarchicalOperator(domain.MustShape(64, 64), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if structured.Inference() != InferCGLS {
+		t.Fatalf("structured resolved to %s", structured.Inference())
+	}
+	huge := strategy.HierarchicalOperator(domain.MustShape(2048, 2048), 2)
+	if _, err := NewMechanismInference(huge, InferDensePinv); err == nil {
+		t.Fatal("dense-pinv on a ~4M-cell operator did not error")
+	}
+	if _, err := NewMechanismInference(huge, InferNormalCG); err == nil {
+		t.Fatal("normal-CG on a ~4M-cell operator did not error (n×n Gram)")
+	}
+}

@@ -9,29 +9,62 @@ import (
 	"adaptivemm/internal/workload"
 )
 
-// denseInferenceCap is the largest cell count for which a dense strategy
+// DenseInferenceCap is the largest cell count for which a dense strategy
 // matrix gets an eagerly materialized pseudo-inverse. The pseudo-inverse
 // costs O(n³) once and O(m·n) per release; past the cap (or for any
 // structured operator) inference runs matrix-free through CGLS, which
 // needs only matvecs and no cubic preprocessing.
-const denseInferenceCap = 1024
+const DenseInferenceCap = 1024
+
+// Inference names a least-squares inference method for deriving the cell
+// estimate x̂ from noisy strategy answers. The planner picks one per plan;
+// InferAuto preserves the representation-driven default.
+type Inference int
+
+const (
+	// InferAuto selects dense-pinv for small dense strategies and CGLS
+	// otherwise — the historical automatic choice.
+	InferAuto Inference = iota
+	// InferDensePinv materializes the Moore-Penrose pseudo-inverse once
+	// (O(n³)) and answers each release with one m×n product — the lowest
+	// per-release latency. Structured operators are densified when they
+	// fit the materialization cap.
+	InferDensePinv
+	// InferCGLS solves each release matrix-free by conjugate gradients on
+	// the factored normal equations: no preprocessing, only matvecs.
+	InferCGLS
+	// InferNormalCG computes the dense Gram AᵀA once and solves
+	// (AᵀA)·x̂ = Aᵀy by plain CG per release: O(n²) per iteration
+	// independent of the strategy's row count — the right trade for very
+	// tall strategies whose Gram is affordable.
+	InferNormalCG
+)
+
+// String returns the wire name used in plans and server responses.
+func (i Inference) String() string {
+	switch i {
+	case InferDensePinv:
+		return "dense-pinv"
+	case InferCGLS:
+		return "cgls"
+	case InferNormalCG:
+		return "normal-cg"
+	default:
+		return "auto"
+	}
+}
 
 // Mechanism is a prepared instance of the matrix mechanism for one
-// strategy operator. Two inference paths exist:
-//
-//   - dense: for small dense strategies the Moore-Penrose pseudo-inverse
-//     is computed once and reused across releases (the paper's one-time
-//     preprocessing observation);
-//   - matrix-free: for structured operators (Kronecker, sparse, analytic)
-//     and large dense strategies, each release solves the least-squares
-//     problem by CGLS, touching nothing bigger than length-m/n vectors.
-//
-// The path is chosen automatically in NewMechanismOp.
+// strategy operator. The inference path (see Inference) is fixed at
+// construction: automatically by representation and size in
+// NewMechanismOp, or explicitly by the planner in NewMechanismInference.
 type Mechanism struct {
-	a      linalg.Operator
-	dense  *linalg.Matrix // a as dense, when that is its representation
-	apinv  *linalg.Matrix // dense pseudo-inverse; nil selects CGLS
-	sensL2 float64
+	a         linalg.Operator
+	dense     *linalg.Matrix // a as dense, when that is its representation
+	apinv     *linalg.Matrix // dense pseudo-inverse for InferDensePinv
+	gram      *linalg.Matrix // dense AᵀA for InferNormalCG
+	inference Inference      // resolved method, never InferAuto
+	sensL2    float64
 
 	l1Once sync.Once
 	sensL1 float64
@@ -46,19 +79,59 @@ func NewMechanism(a *linalg.Matrix) (*Mechanism, error) {
 // NewMechanismOp prepares a mechanism for any strategy operator, selecting
 // the inference path by representation and size.
 func NewMechanismOp(a linalg.Operator) (*Mechanism, error) {
+	return NewMechanismInference(a, InferAuto)
+}
+
+// NewMechanismInference prepares a mechanism with an explicit inference
+// method — the planner's entry point, so the mechanism no longer guesses.
+// InferDensePinv densifies structured operators under the materialization
+// cap and errors past it; InferNormalCG computes the dense Gram once
+// (using an analytic form when the operator has one).
+func NewMechanismInference(a linalg.Operator, inf Inference) (*Mechanism, error) {
 	m := &Mechanism{a: a, sensL2: linalg.MaxColNorm2Op(a)}
 	if d, ok := a.(*linalg.Matrix); ok {
 		m.dense = d
-		if d.Cols() <= denseInferenceCap {
-			pinv, err := linalg.PseudoInverse(d)
-			if err != nil {
-				return nil, err
-			}
-			m.apinv = pinv
+	}
+	if inf == InferAuto {
+		if m.dense != nil && a.Cols() <= DenseInferenceCap {
+			inf = InferDensePinv
+		} else {
+			inf = InferCGLS
 		}
 	}
+	switch inf {
+	case InferDensePinv:
+		d := m.dense
+		if d == nil {
+			if a.Cols() > 0 && a.Rows() > linalg.MaterializeCap/a.Cols() {
+				return nil, fmt.Errorf("mm: strategy too large to materialize for dense-pinv inference (%d x %d)", a.Rows(), a.Cols())
+			}
+			d = linalg.ToDense(a)
+			m.dense = d
+		}
+		pinv, err := linalg.PseudoInverse(d)
+		if err != nil {
+			return nil, err
+		}
+		m.apinv = pinv
+	case InferNormalCG:
+		// The dense Gram is n×n: refuse domains whose Gram would blow the
+		// materialization budget instead of attempting the allocation.
+		if n := a.Cols(); n > 0 && n > linalg.MaterializeCap/n {
+			return nil, fmt.Errorf("mm: strategy Gram too large to materialize for normal-CG inference (%d x %d cells)", n, n)
+		}
+		m.gram = linalg.OperatorGram(a)
+	case InferCGLS:
+		// Nothing to prepare: pure matvecs per release.
+	default:
+		return nil, fmt.Errorf("mm: unknown inference method %d", inf)
+	}
+	m.inference = inf
 	return m, nil
 }
+
+// Inference returns the resolved inference method.
+func (m *Mechanism) Inference() Inference { return m.inference }
 
 // Strategy returns the strategy operator.
 func (m *Mechanism) Strategy() linalg.Operator { return m.a }
@@ -90,13 +163,16 @@ func (m *Mechanism) SensitivityL1() float64 {
 }
 
 // infer computes the least-squares estimate x̂ from noisy strategy answers
-// y: through the pseudo-inverse when it is materialized, by CGLS
-// otherwise.
+// y through the mechanism's resolved inference method.
 func (m *Mechanism) infer(y []float64) ([]float64, error) {
-	if m.apinv != nil {
+	switch m.inference {
+	case InferDensePinv:
 		return m.apinv.MulVec(y), nil
+	case InferNormalCG:
+		return linalg.SolveSymCG(m.gram, m.a.MulVecT(y), linalg.CGOptions{})
+	default:
+		return linalg.SolveCGLS(m.a, y, linalg.CGOptions{})
 	}
-	return linalg.SolveCGLS(m.a, y, linalg.CGOptions{})
 }
 
 // EstimateGaussian runs one (ε,δ)-differentially private release: it

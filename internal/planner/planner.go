@@ -1,0 +1,630 @@
+// Package planner is the unified cost-based strategy planner: the single
+// place where "which strategy answers this workload, and how" is decided.
+//
+// Before it existed the choice was re-implemented three times with
+// different rules — core auto-switched its pipelines on a structured
+// threshold, the HTTP server hard-coded an eigen→principal→hierarchical
+// escalation ladder, and the mechanism guessed its inference path from
+// the strategy representation. The planner consolidates all of that:
+//
+//   - a registry of candidate strategy GENERATORS (identity, hierarchical,
+//     exact eigen design with its barrier/first-order solvers,
+//     eigen-separation, principal-vectors, the closed-form marginal
+//     designer), each with an admission rule and a modeled design cost;
+//   - a COST MODEL combining the paper's comparative expected-error
+//     analysis (generators are ranked by the error class the paper
+//     establishes for them) with modeled design-time cost in work units,
+//     calibrated against measured build times;
+//   - per-request HINTS (latency budget, max design time/cost, domain
+//     size class, privacy pair) that tilt the choice;
+//   - a PLAN artifact carrying the chosen operator, eigenvalues, error
+//     estimate, prepared mechanism and the explicit inference method, so
+//     downstream layers execute decisions instead of re-making them;
+//   - an optional PLAN CACHE keyed by caller-supplied canonical workload
+//     keys plus the hint fingerprint — the "cached" generator.
+//
+// The public API, core and the release-engine server all plan through
+// this package; new generators (sharded, multi-backend) register here
+// without touching any caller.
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/workload"
+)
+
+// StructuredThreshold is the admission rule, moved here from core, that
+// sends product-form workloads down the factored (matrix-free) pipeline:
+// past this many cells the dense eigenbasis is never materialized.
+const StructuredThreshold = 1024
+
+// SizeClass buckets domains by the algebra they can afford. The planner
+// derives it from the cell count; a hint can only restrict it further
+// (declare a domain Large to forbid dense algebra regardless of size).
+type SizeClass int
+
+const (
+	// SizeAuto derives the class from the workload's cell count.
+	SizeAuto SizeClass = iota
+	// SizeSmall domains (≤ SmallCellCap cells) afford exact dense design
+	// within the default design budget.
+	SizeSmall
+	// SizeMedium domains (≤ MediumCellCap cells) afford dense algebra
+	// when the budget allows it.
+	SizeMedium
+	// SizeLarge domains run matrix-free only.
+	SizeLarge
+)
+
+const (
+	// SmallCellCap bounds SizeSmall.
+	SmallCellCap = 512
+	// MediumCellCap bounds SizeMedium, and with it every generator that
+	// needs dense O(n²) memory or O(n³) algebra.
+	MediumCellCap = 4096
+	// FactoredExactCellCap bounds the exact factored eigen design, whose
+	// weighting program still streams an n×n constraint matrix.
+	FactoredExactCellCap = 8192
+)
+
+// DefaultAnalysisCellCap is the cell count up to which a plan computes
+// the exact expected-error analysis (an O(n³) dense eigendecomposition)
+// when no hint overrides it.
+const DefaultAnalysisCellCap = 512
+
+// DefaultMaxDesignCost is the design budget, in modeled work units
+// (roughly floating-point operations), applied when hints set none. It is
+// calibrated so the exact eigen design is admitted up to ~SmallCellCap
+// cells and refused past it — the escalation point the server shipped
+// with before the planner existed.
+const DefaultMaxDesignCost = 6e9
+
+// DefaultUnitsPerSecond seeds the work-units-per-second rate used to
+// convert MaxDesignTime hints into a cost budget. The planner refines it
+// with an EWMA of measured build throughput.
+const DefaultUnitsPerSecond = 5e8
+
+// Hints are the per-request knobs a caller passes to Plan. The zero value
+// asks for the default cost-based choice.
+type Hints struct {
+	// Privacy is the (ε,δ) pair used to report the plan's expected error
+	// and lower bound. The zero value skips the error analysis (the
+	// generator ranking does not depend on it: expected error scales
+	// uniformly in P(ε,δ) across candidates).
+	Privacy mm.Privacy
+	// MaxDesignCost bounds the modeled design cost in work units; 0
+	// applies DefaultMaxDesignCost.
+	MaxDesignCost float64
+	// MaxDesignTime bounds design time, converted to work units with the
+	// planner's measured throughput. When both it and MaxDesignCost are
+	// set the tighter bound wins.
+	MaxDesignTime time.Duration
+	// LatencyTarget is the per-release latency the caller wants. A target
+	// tighter than the modeled iterative-inference latency makes the plan
+	// buy the one-time dense pseudo-inverse when the strategy fits it.
+	LatencyTarget time.Duration
+	// Size restricts the domain-size class (it can only tighten the
+	// derived class, never relax it).
+	Size SizeClass
+	// Generator forces a named generator instead of the cost-based
+	// choice; the design budget is then ignored, but hard admission rules
+	// (memory, representation) still apply.
+	Generator string
+	// GroupSize overrides eigen-separation's group size (default n^⅓).
+	GroupSize int
+	// PrincipalK overrides principal-vectors' weighted-query count
+	// (default 16).
+	PrincipalK int
+	// Branch overrides the hierarchical branching factor (default 2).
+	Branch int
+	// FirstOrder forces the first-order solver in the optimizing
+	// generators.
+	FirstOrder bool
+	// AnalysisCap overrides the cell count up to which the exact error
+	// analysis runs: 0 applies DefaultAnalysisCellCap, negative disables
+	// the analysis.
+	AnalysisCap int
+	// CacheKey, when non-empty and the planner has a cache, makes the
+	// plan reusable under this canonical workload key combined with the
+	// hint fingerprint. Callers must guarantee equal keys mean equal
+	// workloads.
+	CacheKey string
+}
+
+// Fingerprint returns the canonical encoding of every hint that affects
+// generator choice — the cache-key suffix. Privacy is excluded: it scales
+// all candidates' errors by the same factor and never changes the winner
+// (per-pair error analyses are memoized on the Plan instead).
+func (h Hints) Fingerprint() string {
+	return fmt.Sprintf("v1|c=%g|t=%d|lat=%d|sz=%d|gen=%s|g=%d|k=%d|b=%d|fo=%t|ac=%d",
+		h.MaxDesignCost, int64(h.MaxDesignTime), int64(h.LatencyTarget), h.Size,
+		h.Generator, h.GroupSize, h.PrincipalK, h.Branch, h.FirstOrder, h.AnalysisCap)
+}
+
+// sizeClass returns the effective class: derived from the cell count,
+// tightened by the hint.
+func (h Hints) sizeClass(n int) SizeClass {
+	derived := SizeSmall
+	switch {
+	case n > MediumCellCap:
+		derived = SizeLarge
+	case n > SmallCellCap:
+		derived = SizeMedium
+	}
+	if h.Size > derived {
+		return h.Size
+	}
+	return derived
+}
+
+func (h Hints) analysisCap() int {
+	switch {
+	case h.AnalysisCap < 0:
+		return 0
+	case h.AnalysisCap == 0:
+		return DefaultAnalysisCellCap
+	default:
+		return h.AnalysisCap
+	}
+}
+
+// Proposal is a generator's admission answer: the modeled design cost,
+// the error rank used for selection, and the deferred build.
+type Proposal struct {
+	// Cost is the modeled design cost in work units.
+	Cost float64
+	// Score ranks the expected workload error of this generator's output
+	// relative to the other generators (lower is better), following the
+	// paper's comparative analysis. Ties break toward lower Cost.
+	Score float64
+	// Note is a one-line rationale reported in the plan.
+	Note string
+	// Build runs the design.
+	Build func() (Built, error)
+}
+
+// Built is a generator's raw output before the planner prepares the
+// mechanism around it.
+type Built struct {
+	// Op is the strategy operator (always set).
+	Op linalg.Operator
+	// Dense is the explicit strategy matrix when the pipeline produced
+	// one.
+	Dense *linalg.Matrix
+	// Eigenvalues of WᵀW when the generator computed them.
+	Eigenvalues []float64
+}
+
+// Generator is one candidate strategy family in the registry. Propose
+// returns the admission decision for (w, h): a proposal, or a one-line
+// rejection reason. forced reports that the caller named this generator
+// explicitly — admission may then relax budget-motivated gates (e.g. the
+// separation generator offers its factored pipeline only when forced,
+// since principal-vectors dominates it in auto mode at scale).
+type Generator interface {
+	Name() string
+	Propose(w *workload.Workload, h Hints, forced bool) (*Proposal, string)
+}
+
+// Decision records one generator's fate during planning; the server
+// surfaces the list in /design responses.
+type Decision struct {
+	Generator   string  `json:"generator"`
+	Admitted    bool    `json:"admitted"`
+	Selected    bool    `json:"selected"`
+	ModeledCost float64 `json:"modeledCost,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
+}
+
+// Plan is the artifact a planning run produces: everything downstream
+// layers need to execute releases without re-deciding anything.
+type Plan struct {
+	// Generator names the winning generator.
+	Generator string
+	// Note is the winner's rationale.
+	Note string
+	// Workload is the planned workload.
+	Workload *workload.Workload
+	// Op is the strategy operator.
+	Op linalg.Operator
+	// Dense is the explicit strategy matrix when one exists.
+	Dense *linalg.Matrix
+	// Eigenvalues of WᵀW when the winning generator computed them (they
+	// feed the Thm 2 lower bound).
+	Eigenvalues []float64
+	// Inference is the explicitly chosen inference method.
+	Inference mm.Inference
+	// Mechanism is the prepared release mechanism.
+	Mechanism *mm.Mechanism
+	// ModeledCost is the winner's modeled design cost.
+	ModeledCost float64
+	// DesignTime is the measured build time.
+	DesignTime time.Duration
+	// Decisions lists every generator's admission outcome.
+	Decisions []Decision
+
+	analysisCap int
+	mu          sync.Mutex
+	errByPair   map[mm.Privacy]float64
+}
+
+// ExpectedError returns the analytic RMSE of answering the planned
+// workload with this plan's strategy at the given privacy pair (Prop. 4),
+// memoized per pair. It reports 0 without error past the plan's analysis
+// cap, where the O(n³) analysis is deliberately skipped.
+func (p *Plan) ExpectedError(pr mm.Privacy) (float64, error) {
+	if p.Workload.Cells() > p.analysisCap {
+		return 0, nil
+	}
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.errByPair[pr]; ok {
+		return e, nil
+	}
+	e, err := mm.Error(p.Workload, p.Op, pr)
+	if err != nil {
+		return 0, err
+	}
+	if p.errByPair == nil {
+		p.errByPair = map[mm.Privacy]float64{}
+	}
+	p.errByPair[pr] = e
+	return e, nil
+}
+
+// LowerBound returns the Thm 2 lower bound for the planned workload at
+// the given pair, or 0 when the winning generator did not compute the
+// workload eigenvalues.
+func (p *Plan) LowerBound(pr mm.Privacy) float64 {
+	if p.Eigenvalues == nil || pr.Validate() != nil {
+		return 0
+	}
+	return mm.LowerBoundFromEigenvalues(p.Eigenvalues, p.Workload.NumQueries(), pr)
+}
+
+// Config configures a Planner.
+type Config struct {
+	// CacheSize bounds the plan cache; 0 disables caching.
+	CacheSize int
+}
+
+// Planner holds the generator registry, the plan cache and the measured
+// design throughput. It is safe for concurrent use.
+type Planner struct {
+	mu   sync.Mutex
+	gens []Generator
+	rate float64 // EWMA work units per second
+	pc   *planCache
+}
+
+// New returns a planner with the default generator registry.
+func New(cfg Config) *Planner {
+	p := &Planner{rate: DefaultUnitsPerSecond}
+	if cfg.CacheSize > 0 {
+		p.pc = newPlanCache(cfg.CacheSize)
+	}
+	p.gens = []Generator{
+		marginalsGen{},
+		eigenGen{},
+		separationGen{},
+		principalGen{},
+		hierarchicalGen{},
+		identityGen{},
+	}
+	return p
+}
+
+// Register appends a generator to the registry. Selection ranks by
+// (Score, Cost), so registration order only breaks exact ties.
+func (p *Planner) Register(g Generator) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gens = append(p.gens, g)
+}
+
+// Generators returns the registered generator names in registry order.
+func (p *Planner) Generators() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, len(p.gens))
+	for i, g := range p.gens {
+		names[i] = g.Name()
+	}
+	return names
+}
+
+func (p *Planner) currentRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
+// minCalibrationCost is the smallest modeled cost a build must have to
+// feed the throughput estimate: trivial builds (identity, hierarchical)
+// measure timer noise, not compute throughput, and would drag the rate
+// orders of magnitude off.
+const minCalibrationCost = 1e7
+
+// observeRate folds one measured build into the throughput estimate used
+// to convert MaxDesignTime hints into cost budgets.
+func (p *Planner) observeRate(cost float64, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	if secs <= 0 || cost < minCalibrationCost {
+		return
+	}
+	observed := cost / secs
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := 0.75*p.rate + 0.25*observed
+	if r < 1e6 {
+		r = 1e6
+	}
+	if r > 1e13 {
+		r = 1e13
+	}
+	p.rate = r
+}
+
+// budget resolves the hints into one cost bound.
+func (p *Planner) budget(h Hints) float64 {
+	b := h.MaxDesignCost
+	if h.MaxDesignTime > 0 {
+		tb := h.MaxDesignTime.Seconds() * p.currentRate()
+		if b == 0 || tb < b {
+			b = tb
+		}
+	}
+	if b == 0 {
+		return DefaultMaxDesignCost
+	}
+	return b
+}
+
+// scoredCand pairs an admitted proposal with its decision-slot index.
+type scoredCand struct {
+	gen  Generator
+	prop *Proposal
+	di   int
+}
+
+// propose runs admission for every generator (or only the forced one) and
+// returns the admitted candidates in build-preference order.
+func (p *Planner) propose(w *workload.Workload, h Hints) ([]scoredCand, []Decision, error) {
+	p.mu.Lock()
+	gens := append([]Generator(nil), p.gens...)
+	p.mu.Unlock()
+
+	if h.Generator != "" {
+		for _, g := range gens {
+			if g.Name() != h.Generator {
+				continue
+			}
+			prop, reject := g.Propose(w, h, true)
+			if prop == nil {
+				return nil, nil, fmt.Errorf("planner: generator %q refused workload %q: %s", h.Generator, w.Name(), reject)
+			}
+			d := []Decision{{Generator: g.Name(), Admitted: true, ModeledCost: prop.Cost, Reason: "forced by hint: " + prop.Note}}
+			return []scoredCand{{gen: g, prop: prop, di: 0}}, d, nil
+		}
+		return nil, nil, fmt.Errorf("planner: unknown generator %q (registered: %s)", h.Generator, strings.Join(p.Generators(), ", "))
+	}
+
+	budget := p.budget(h)
+	decisions := make([]Decision, 0, len(gens))
+	var admitted []scoredCand
+	var cheapest *scoredCand
+	for _, g := range gens {
+		prop, reject := g.Propose(w, h, false)
+		if prop == nil {
+			decisions = append(decisions, Decision{Generator: g.Name(), Reason: reject})
+			continue
+		}
+		di := len(decisions)
+		decisions = append(decisions, Decision{Generator: g.Name(), ModeledCost: prop.Cost, Reason: prop.Note})
+		c := scoredCand{gen: g, prop: prop, di: di}
+		if cheapest == nil || prop.Cost < cheapest.prop.Cost {
+			cc := c
+			cheapest = &cc
+		}
+		if prop.Cost > budget {
+			decisions[di].Reason = fmt.Sprintf("modeled cost %.3g exceeds the design budget %.3g", prop.Cost, budget)
+			continue
+		}
+		decisions[di].Admitted = true
+		admitted = append(admitted, c)
+	}
+	if len(admitted) == 0 {
+		if cheapest == nil {
+			return nil, decisions, fmt.Errorf("planner: no generator can produce a strategy for workload %q", w.Name())
+		}
+		// Nothing fits the budget: escalate to the cheapest candidate
+		// rather than fail — a plan that is late beats no plan.
+		decisions[cheapest.di].Admitted = true
+		decisions[cheapest.di].Reason = fmt.Sprintf(
+			"over the design budget %.3g like every candidate; selected as the cheapest escape (modeled cost %.3g)", budget, cheapest.prop.Cost)
+		admitted = []scoredCand{*cheapest}
+	}
+	sort.SliceStable(admitted, func(i, j int) bool {
+		if admitted[i].prop.Score != admitted[j].prop.Score {
+			return admitted[i].prop.Score < admitted[j].prop.Score
+		}
+		return admitted[i].prop.Cost < admitted[j].prop.Cost
+	})
+	return admitted, decisions, nil
+}
+
+// Explain runs admission and selection without building anything: the
+// returned decisions mark which generator would win. It backs the
+// table-driven planner tests and diagnostic endpoints.
+func (p *Planner) Explain(w *workload.Workload, h Hints) ([]Decision, error) {
+	cands, decisions, err := p.propose(w, h)
+	if err != nil {
+		return decisions, err
+	}
+	decisions[cands[0].di].Selected = true
+	return decisions, nil
+}
+
+// Plan picks a generator for (w, h), builds the strategy (falling back
+// through the admission order when a build fails), chooses the inference
+// method, prepares the mechanism, and runs the error analysis when the
+// domain affords it.
+func (p *Planner) Plan(w *workload.Workload, h Hints) (*Plan, error) {
+	var key string
+	if p.pc != nil && h.CacheKey != "" {
+		key = h.CacheKey + "#" + h.Fingerprint()
+		if pl, ok := p.pc.get(key); ok {
+			return pl, nil
+		}
+	}
+
+	cands, decisions, err := p.propose(w, h)
+	if err != nil {
+		return nil, err
+	}
+	var built *Built
+	var win scoredCand
+	var failures []string
+	var elapsed time.Duration
+	for _, c := range cands {
+		// Time each build separately: a failed candidate's wasted time
+		// must not pollute the winner's reported design time or the
+		// throughput calibration.
+		start := time.Now()
+		b, err := c.prop.Build()
+		if err != nil {
+			decisions[c.di].Reason = fmt.Sprintf("build failed: %v", err)
+			decisions[c.di].Admitted = false
+			failures = append(failures, fmt.Sprintf("%s: %v", c.gen.Name(), err))
+			continue
+		}
+		elapsed = time.Since(start)
+		built, win = &b, c
+		break
+	}
+	if built == nil {
+		return nil, fmt.Errorf("planner: every admitted generator failed: %s", strings.Join(failures, "; "))
+	}
+	p.observeRate(win.prop.Cost, elapsed)
+	decisions[win.di].Selected = true
+
+	inf := p.chooseInference(*built, h)
+	mech, err := mm.NewMechanismInference(built.Op, inf)
+	if err != nil {
+		return nil, fmt.Errorf("planner: preparing %s inference for generator %s: %w", inf, win.gen.Name(), err)
+	}
+	plan := &Plan{
+		Generator:   win.gen.Name(),
+		Note:        win.prop.Note,
+		Workload:    w,
+		Op:          built.Op,
+		Dense:       built.Dense,
+		Eigenvalues: built.Eigenvalues,
+		Inference:   inf,
+		Mechanism:   mech,
+		ModeledCost: win.prop.Cost,
+		DesignTime:  elapsed,
+		Decisions:   decisions,
+		analysisCap: h.analysisCap(),
+	}
+	if h.Privacy.Validate() == nil {
+		if _, err := plan.ExpectedError(h.Privacy); err != nil {
+			return nil, fmt.Errorf("planner: error analysis: %w", err)
+		}
+	}
+	if key != "" {
+		p.pc.put(key, plan)
+	}
+	return plan, nil
+}
+
+// normalCGCellCap bounds the dense Gram the normal-equations inference
+// precomputes; tallRowFactor is how much taller than square a strategy
+// must be before the O(n²)-per-iteration normal path beats CGLS's two
+// operator matvecs.
+const (
+	normalCGCellCap = 2048
+	tallRowFactor   = 4
+)
+
+// chooseInference picks the inference method for a built strategy —
+// explicitly, so mm.Mechanism executes rather than guesses.
+func (p *Planner) chooseInference(b Built, h Hints) mm.Inference {
+	op := b.Op
+	n := op.Cols()
+	if b.Dense != nil && n <= mm.DenseInferenceCap {
+		return mm.InferDensePinv
+	}
+	// A latency target tighter than the modeled iterative solve buys the
+	// one-time pseudo-inverse when the strategy can be densified.
+	if h.LatencyTarget > 0 && n <= mm.DenseInferenceCap &&
+		n > 0 && op.Rows() <= linalg.MaterializeCap/n &&
+		h.LatencyTarget < p.estimateIterativeLatency(op) {
+		return mm.InferDensePinv
+	}
+	// Very tall strategies with an affordable Gram: per-release cost
+	// O(n²) per iteration regardless of the row count.
+	if n <= normalCGCellCap && op.Rows() > tallRowFactor*n {
+		return mm.InferNormalCG
+	}
+	return mm.InferCGLS
+}
+
+// matvecOpsPerSecond is the fixed throughput the release-latency model
+// assumes. Deliberately NOT the design-throughput EWMA: that rate is
+// calibrated in modeled design-cost units and drifts with planning
+// history, which would make the LatencyTarget hint's behavior — and the
+// cached plan it freezes — depend on which requests arrived first.
+const matvecOpsPerSecond = 5e8
+
+// estimateIterativeLatency is a coarse model of one CGLS release:
+// ~150 iterations of two matvecs, each touching rows+cols values.
+func (p *Planner) estimateIterativeLatency(op linalg.Operator) time.Duration {
+	ops := 150 * 2 * 8 * float64(op.Rows()+op.Cols())
+	return time.Duration(ops / matvecOpsPerSecond * float64(time.Second))
+}
+
+// planCache is a bounded FIFO plan cache.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*Plan
+	order []string
+}
+
+func newPlanCache(cap int) *planCache {
+	return &planCache{cap: cap, m: map[string]*Plan{}}
+}
+
+func (c *planCache) get(key string) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[key]
+	return p, ok
+}
+
+func (c *planCache) put(key string, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		c.m[key] = p
+		return
+	}
+	for len(c.m) >= c.cap && len(c.order) > 0 {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, old)
+	}
+	c.m[key] = p
+	c.order = append(c.order, key)
+}

@@ -91,20 +91,20 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) ([]float64, Budget,
 	// Both modes share one response payload cap: m answers or n estimate
 	// cells, either can be the oversized one.
 	if req.Mode == "estimate" {
-		if ent.w.Cells() > maxAnswerRows {
+		if ent.plan.Workload.Cells() > maxAnswerRows {
 			return nil, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
 				"histogram estimate has %d cells, past the %d-value response cap; a domain this large cannot be released over HTTP — use the library API",
-				ent.w.Cells(), maxAnswerRows)
+				ent.plan.Workload.Cells(), maxAnswerRows)
 		}
-	} else if ent.w.NumQueries() > maxAnswerRows {
+	} else if ent.plan.Workload.NumQueries() > maxAnswerRows {
 		// Only point at estimate mode when it would actually fit.
 		hint := "; a workload this large cannot be released over HTTP — use the library API"
-		if ent.w.Cells() <= maxAnswerRows {
+		if ent.plan.Workload.Cells() <= maxAnswerRows {
 			hint = "; request mode \"estimate\" instead"
 		}
 		return nil, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
 			"workload has %d queries, past the %d-answer response cap%s",
-			ent.w.NumQueries(), maxAnswerRows, hint)
+			ent.plan.Workload.NumQueries(), maxAnswerRows, hint)
 	}
 
 	hist, acctName, res, rerr := s.resolveAndReserve(req, ent, p)
@@ -129,9 +129,9 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) ([]float64, Budget,
 	var ans []float64
 	var err error
 	if req.Mode == "estimate" {
-		ans, err = ent.mech.EstimateGaussian(hist, p, noise)
+		ans, err = ent.plan.Mechanism.EstimateGaussian(hist, p, noise)
 	} else {
-		ans, err = ent.mech.AnswerGaussian(ent.w, hist, p, noise)
+		ans, err = ent.plan.Mechanism.AnswerGaussian(ent.plan.Workload, hist, p, noise)
 	}
 	if err != nil {
 		return nil, Budget{}, releaseErrorf(http.StatusUnprocessableEntity, "%v", err)
@@ -170,9 +170,9 @@ func (s *Server) resolveAndReserve(req *answerRequest, ent *entry, p mm.Privacy)
 		return nil, "", nil, releaseErrorf(http.StatusBadRequest,
 			"dataset %q is registered; omit the inline histogram so releases answer the registered data", req.Dataset)
 	}
-	if len(hist) != ent.w.Cells() {
+	if len(hist) != ent.plan.Workload.Cells() {
 		return nil, "", nil, releaseErrorf(http.StatusBadRequest,
-			"histogram has %d cells, workload expects %d", len(hist), ent.w.Cells())
+			"histogram has %d cells, workload expects %d", len(hist), ent.plan.Workload.Cells())
 	}
 	// Accountant entries are never evicted, so brand-new ad-hoc names are
 	// admitted only while the tracked-dataset count is under its bound —
@@ -318,9 +318,9 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 			continue // failed below with 404, never executed
 		}
 		if item.Mode == "estimate" {
-			totalValues += ents[i].w.Cells()
+			totalValues += ents[i].plan.Workload.Cells()
 		} else {
-			totalValues += ents[i].w.NumQueries()
+			totalValues += ents[i].plan.Workload.NumQueries()
 		}
 	}
 	if totalValues > maxAnswerRows {

@@ -11,8 +11,7 @@ import (
 	"sync"
 	"testing"
 
-	"adaptivemm/internal/mm"
-	"adaptivemm/internal/strategy"
+	"adaptivemm/internal/planner"
 	"adaptivemm/internal/wio"
 )
 
@@ -442,12 +441,12 @@ func TestEstimatePayloadCap(t *testing.T) {
 	if wl.Cells() <= maxAnswerRows {
 		t.Fatalf("domain too small to exercise the cap: %d cells", wl.Cells())
 	}
-	mech, err := mm.NewMechanismOp(strategy.HierarchicalOperator(wl.Shape(), 2))
+	plan, err := planner.New(planner.Config{}).Plan(wl, planner.Hints{Generator: "hierarchical"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := New()
-	s.strategies["s1"] = &entry{w: wl, mech: mech, form: "hierarchical", expected: map[mm.Privacy]float64{}}
+	s.strategies["s1"] = &entry{plan: plan}
 
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

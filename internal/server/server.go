@@ -7,14 +7,16 @@
 // check-reserve-commit semantics (a release that would exceed the cap is
 // refused before any noise is drawn).
 //
-// Strategy selection scales with the domain: small domains get the exact
-// Eigen-Design; product-form domains past the dense cap use the factored
-// principal-vector design; everything else large falls back to the
-// hierarchical operator strategy. All three paths answer through
-// matrix-free inference, so workloads like allrange:2048 (2.1M queries)
-// are designed and answered without materializing any dense matrix.
-// Repeated /design of the same workload spec returns the cached strategy
-// without re-running design.
+// Strategy selection is delegated to the unified cost-based planner
+// (internal/planner): /design builds the workload, passes the request's
+// hints (privacy pair, design-time budget, latency target, forced
+// generator) to the planner, and executes the returned plan. The server
+// itself contains no generator-ordering logic; the response's "planner"
+// block reports which generator won, its modeled cost, the chosen
+// inference method, and why every other candidate lost. Strategies are
+// cached keyed on the canonical (workload spec, hints) pair, so repeated
+// /design of the same request returns the cached plan without re-running
+// design.
 //
 // Release noise is drawn from a crypto-seeded source by default. A
 // request may pin a deterministic seed (any value, including 0) for
@@ -66,31 +68,34 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"adaptivemm/internal/accountant"
-	"adaptivemm/internal/core"
 	"adaptivemm/internal/domain"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/planner"
 	"adaptivemm/internal/registry"
-	"adaptivemm/internal/strategy"
 	"adaptivemm/internal/wio"
 	"adaptivemm/internal/workload"
 )
 
-// denseDesignCap is the largest cell count for which the server runs the
-// exact dense Eigen-Design (O(n³) eigendecomposition). Past it a
-// structured strategy is selected instead.
-const denseDesignCap = 512
-
 // analysisCap is the largest cell count for which the server computes the
 // analytic expected error and lower bound at design time (both need an
 // O(n³) dense eigendecomposition); past it the fields are reported as 0.
+// It is passed to the planner as the plan's analysis cap.
 const analysisCap = 512
 
-// principalK is the number of individually weighted eigen-queries for the
-// factored principal-vector design on large product domains.
-const principalK = 16
+// maxCachedPlans bounds the planner's plan cache, one more piece of
+// permanent server state kept finite.
+const maxCachedPlans = 4096
+
+// maxStoredStrategies bounds the strategy table (and with it the design
+// cache, which only references stored ids). Entries are never evicted —
+// /answer must keep resolving old ids — so without a bound a client
+// could grow server memory without limit through explicit-rows designs
+// or by sweeping hint values on one spec.
+const maxStoredStrategies = 1 << 16
 
 // maxAnswerRows caps how many values (per-query answers or estimate
 // cells) one /answer request may compute and serialize.
@@ -138,10 +143,14 @@ type Server struct {
 	mu         sync.RWMutex
 	nextID     int
 	strategies map[string]*entry
-	// cache maps a canonical workload spec (plus sampling seed) to the id
-	// of the strategy designed for it, so repeated /design of the same
-	// spec is O(1) instead of a repeated eigendecomposition.
+	// cache maps a canonical (workload spec, hints fingerprint) key to
+	// the id of the strategy planned for it, so repeated /design of the
+	// same request is O(1) instead of a repeated planning run.
 	cache map[string]string
+
+	// pl is the unified cost-based strategy planner every /design goes
+	// through; the server adds no generator-ordering logic of its own.
+	pl *planner.Planner
 
 	acct *accountant.Accountant
 	reg  *registry.Registry
@@ -170,15 +179,12 @@ type Options struct {
 	AllowSeededReleases bool
 }
 
+// entry wraps one stored plan. The plan carries the workload, the
+// prepared mechanism, the chosen generator and inference method, and the
+// per-privacy-pair memoized error analysis — everything the release path
+// needs without re-deciding anything.
 type entry struct {
-	w           *workload.Workload
-	mech        *mm.Mechanism
-	form        string
-	eigenvalues []float64
-	// expected memoizes the analytic expected error per privacy pair
-	// (guarded by Server.mu), so cache hits with a previously seen pair
-	// skip the O(n³) error analysis too.
-	expected map[mm.Privacy]float64
+	plan *planner.Plan
 }
 
 // Budget is cumulative privacy spend under basic sequential composition.
@@ -199,6 +205,7 @@ func NewWithOptions(opts Options) *Server {
 	return &Server{
 		strategies:  map[string]*entry{},
 		cache:       map[string]string{},
+		pl:          planner.New(planner.Config{CacheSize: maxCachedPlans}),
 		acct:        accountant.New(),
 		reg:         registry.New(),
 		allowSeeded: opts.AllowSeededReleases,
@@ -244,25 +251,61 @@ type designRequest struct {
 	// defaults independently when omitted.
 	Epsilon float64 `json:"epsilon,omitempty"`
 	Delta   float64 `json:"delta,omitempty"`
+	// MaxDesignMillis bounds how long strategy design may take: the
+	// planner skips generators whose modeled cost exceeds it. 0 applies
+	// the default design budget.
+	MaxDesignMillis int64 `json:"maxDesignMillis,omitempty"`
+	// LatencyTargetMillis is the per-release latency to aim for; a tight
+	// target makes the plan prepare the dense pseudo-inverse when the
+	// strategy fits it.
+	LatencyTargetMillis int64 `json:"latencyTargetMillis,omitempty"`
+	// Generator forces a named planner generator instead of the
+	// cost-based choice.
+	Generator string `json:"generator,omitempty"`
+}
+
+// plannerReport is the /design response block naming the winning
+// generator and why every other candidate lost.
+type plannerReport struct {
+	Generator    string             `json:"generator"`
+	Note         string             `json:"note,omitempty"`
+	ModeledCost  float64            `json:"modeledCost"`
+	DesignMillis float64            `json:"designMillis"`
+	Inference    string             `json:"inference"`
+	Considered   []planner.Decision `json:"considered,omitempty"`
 }
 
 type designResponse struct {
 	Strategy string `json:"strategy"`
 	Queries  int    `json:"queries"`
 	Cells    int    `json:"cells"`
-	// Form reports which design path was selected: "eigen" (exact dense),
-	// "principal" (factored Kronecker) or "hierarchical" (structured
-	// fallback).
+	// Form is the legacy short name of the winning generator ("eigen",
+	// "principal", "hierarchical", ...); see Planner for the full report.
 	Form string `json:"form"`
 	// Epsilon/Delta echo the privacy pair the error analysis used,
 	// including any defaulted component.
 	Epsilon float64 `json:"epsilon"`
 	Delta   float64 `json:"delta"`
 	// Cached reports that the strategy came from the cache, not a fresh
-	// design run.
+	// planning run.
 	Cached        bool    `json:"cached"`
 	ExpectedError float64 `json:"expectedError"`
 	LowerBound    float64 `json:"lowerBound"`
+	// Planner reports which generator won, its modeled cost and the
+	// chosen inference method, plus every candidate's admission outcome.
+	Planner plannerReport `json:"planner"`
+}
+
+// formFor maps generator names onto the legacy "form" field values.
+func formFor(generator string) string {
+	switch generator {
+	case "eigen-separation":
+		return "separated"
+	case "principal-vectors":
+		return "principal"
+	default:
+		return generator
+	}
 }
 
 func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
@@ -288,8 +331,9 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	hints := s.hintsFor(&req, p)
 
-	key := s.cacheKey(&req)
+	key := s.cacheKey(&req, hints)
 	if key != "" {
 		s.mu.RLock()
 		id, ok := s.cache[key]
@@ -304,6 +348,17 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Refuse before planning: a server at its strategy bound must not
+	// burn a full (possibly O(n³)) design per rejected request.
+	s.mu.RLock()
+	full := len(s.strategies) >= maxStoredStrategies
+	s.mu.RUnlock()
+	if full {
+		httpError(w, http.StatusInsufficientStorage,
+			"server stores its limit of %d strategies; reuse an existing strategy id", maxStoredStrategies)
+		return
+	}
+
 	wl, err := s.buildWorkload(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -314,34 +369,28 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	op, form, eigenvalues, err := s.selectStrategy(wl)
+	hints.CacheKey = key
+	plan, err := s.pl.Plan(wl, hints)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "design failed: %v", err)
 		return
 	}
-	mech, err := mm.NewMechanismOp(op)
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "mechanism: %v", err)
-		return
-	}
-	ent := &entry{w: wl, mech: mech, form: form, eigenvalues: eigenvalues, expected: map[mm.Privacy]float64{}}
-	if wl.Cells() <= analysisCap {
-		expected, err := mm.Error(wl, op, p)
-		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "error analysis: %v", err)
-			return
-		}
-		ent.expected[p] = expected
-	}
+	ent := &entry{plan: plan}
 
 	s.mu.Lock()
+	if len(s.strategies) >= maxStoredStrategies {
+		s.mu.Unlock()
+		httpError(w, http.StatusInsufficientStorage,
+			"server stores its limit of %d strategies; reuse an existing strategy id", maxStoredStrategies)
+		return
+	}
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
 	s.strategies[id] = ent
 	if key != "" {
-		// Concurrent designs of the same spec can both get here; the last
-		// one wins the cache slot and the loser's strategy stays usable
-		// under its own id.
+		// Concurrent designs of the same request can both get here; the
+		// last one wins the cache slot and the loser's strategy stays
+		// usable under its own id.
 		s.cache[key] = id
 	}
 	s.mu.Unlock()
@@ -349,10 +398,24 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	s.respondDesign(w, id, ent, p, false)
 }
 
+// hintsFor translates the request's knobs into planner hints.
+func (s *Server) hintsFor(req *designRequest, p mm.Privacy) planner.Hints {
+	return planner.Hints{
+		Privacy:       p,
+		MaxDesignTime: time.Duration(req.MaxDesignMillis) * time.Millisecond,
+		LatencyTarget: time.Duration(req.LatencyTargetMillis) * time.Millisecond,
+		Generator:     req.Generator,
+		AnalysisCap:   analysisCap,
+	}
+}
+
 // cacheKey returns the canonical cache key for a spec-based design
-// request, or "" when the request is not cacheable (explicit rows).
-// Randomized specs sample by seed, so the seed is part of the identity.
-func (s *Server) cacheKey(req *designRequest) string {
+// request — the workload spec (with sampling seed) plus the hint
+// fingerprint — or "" when the request is not cacheable (explicit rows).
+// The privacy pair is deliberately not part of the key: it never changes
+// the winning generator, and per-pair error analyses are memoized on the
+// plan.
+func (s *Server) cacheKey(req *designRequest, hints planner.Hints) string {
 	if req.Workload == "" || req.Rows != nil {
 		return ""
 	}
@@ -360,65 +423,37 @@ func (s *Server) cacheKey(req *designRequest) string {
 	if seed == 0 {
 		seed = 1
 	}
-	return fmt.Sprintf("%s|seed=%d", strings.ToLower(strings.TrimSpace(req.Workload)), seed)
+	return fmt.Sprintf("%s|seed=%d|%s", strings.ToLower(strings.TrimSpace(req.Workload)), seed, hints.Fingerprint())
 }
 
-// respondDesign writes the design response, computing (and memoizing) the
-// error analysis for the requested privacy pair.
+// respondDesign writes the design response; the error analysis for the
+// requested privacy pair is memoized on the plan.
 func (s *Server) respondDesign(w http.ResponseWriter, id string, ent *entry, p mm.Privacy, cached bool) {
-	var expected float64
-	if ent.w.Cells() <= analysisCap {
-		s.mu.RLock()
-		e, ok := ent.expected[p]
-		s.mu.RUnlock()
-		if ok {
-			expected = e
-		} else {
-			var err error
-			expected, err = mm.Error(ent.w, ent.mech.Strategy(), p)
-			if err != nil {
-				httpError(w, http.StatusUnprocessableEntity, "error analysis: %v", err)
-				return
-			}
-			s.mu.Lock()
-			ent.expected[p] = expected
-			s.mu.Unlock()
-		}
-	}
-	var lb float64
-	if ent.eigenvalues != nil {
-		lb = mm.LowerBoundFromEigenvalues(ent.eigenvalues, ent.w.NumQueries(), p)
+	plan := ent.plan
+	expected, err := plan.ExpectedError(p)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "error analysis: %v", err)
+		return
 	}
 	writeJSON(w, designResponse{
 		Strategy:      id,
-		Queries:       ent.w.NumQueries(),
-		Cells:         ent.w.Cells(),
-		Form:          ent.form,
+		Queries:       plan.Workload.NumQueries(),
+		Cells:         plan.Workload.Cells(),
+		Form:          formFor(plan.Generator),
 		Epsilon:       p.Epsilon,
 		Delta:         p.Delta,
 		Cached:        cached,
 		ExpectedError: expected,
-		LowerBound:    lb,
+		LowerBound:    plan.LowerBound(p),
+		Planner: plannerReport{
+			Generator:    plan.Generator,
+			Note:         plan.Note,
+			ModeledCost:  plan.ModeledCost,
+			DesignMillis: float64(plan.DesignTime) / float64(time.Millisecond),
+			Inference:    plan.Inference.String(),
+			Considered:   plan.Decisions,
+		},
 	})
-}
-
-// selectStrategy picks the design path by domain size and structure.
-func (s *Server) selectStrategy(wl *workload.Workload) (linalg.Operator, string, []float64, error) {
-	if wl.Cells() <= denseDesignCap {
-		res, err := core.Design(wl, core.Options{})
-		if err != nil {
-			return nil, "", nil, err
-		}
-		return res.Op, "eigen", res.Eigenvalues, nil
-	}
-	if factors, ok := wl.GramFactors(); ok && len(factors) >= 2 {
-		res, err := core.PrincipalVectors(wl, principalK, core.Options{})
-		if err != nil {
-			return nil, "", nil, err
-		}
-		return res.Op, "principal", res.Eigenvalues, nil
-	}
-	return strategy.HierarchicalOperator(wl.Shape(), 2), "hierarchical", nil, nil
 }
 
 func (s *Server) buildWorkload(req *designRequest) (*workload.Workload, error) {

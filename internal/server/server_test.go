@@ -419,3 +419,140 @@ func TestAnswerModeValidation(t *testing.T) {
 		t.Fatalf("bogus mode status %d", resp.StatusCode)
 	}
 }
+
+// Every /design response must name the winning generator with its modeled
+// cost and inference method, and list every candidate's admission outcome
+// — the planner is the only place strategy selection happens.
+func TestDesignPlannerReport(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/design", map[string]any{"workload": "marginals:2:8x8x4"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("design status %d: %s", resp.StatusCode, body)
+	}
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Planner.Generator != "marginals" {
+		t.Fatalf("generator = %q, want marginals (closed-form optimal)", d.Planner.Generator)
+	}
+	if d.Form != "marginals" {
+		t.Fatalf("form = %q, want marginals", d.Form)
+	}
+	if d.Planner.ModeledCost <= 0 {
+		t.Fatalf("modeled cost %g not reported", d.Planner.ModeledCost)
+	}
+	if d.Planner.Inference == "" {
+		t.Fatal("inference method not reported")
+	}
+	if len(d.Planner.Considered) < 4 {
+		t.Fatalf("expected every registered generator in the report, got %+v", d.Planner.Considered)
+	}
+	var selected int
+	for _, dec := range d.Planner.Considered {
+		if dec.Selected {
+			selected++
+			if dec.Generator != "marginals" {
+				t.Fatalf("selected decision = %+v", dec)
+			}
+		}
+	}
+	if selected != 1 {
+		t.Fatalf("%d selected decisions, want exactly 1", selected)
+	}
+	// The closed-form marginal design meets the Thm 2 bound exactly.
+	if d.LowerBound <= 0 || d.ExpectedError > d.LowerBound*(1+1e-6) {
+		t.Fatalf("marginal design error %g above lower bound %g", d.ExpectedError, d.LowerBound)
+	}
+}
+
+// Design-time hints steer the planner: a tight budget refuses the exact
+// design a loose one admits, and the hints are part of the cache key so
+// the two requests yield distinct strategies.
+func TestDesignHintsChangeGeneratorAndCacheKey(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	var tight, loose designResponse
+	resp, body := post(t, ts, "/design", map[string]any{"workload": "prefix:128", "maxDesignMillis": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tight design status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &tight); err != nil {
+		t.Fatal(err)
+	}
+	if tight.Planner.Generator != "hierarchical" {
+		t.Fatalf("tight-budget generator = %q, want hierarchical", tight.Planner.Generator)
+	}
+	resp, body = post(t, ts, "/design", map[string]any{"workload": "prefix:128"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("loose design status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &loose); err != nil {
+		t.Fatal(err)
+	}
+	if loose.Planner.Generator != "eigen" {
+		t.Fatalf("default-budget generator = %q, want eigen", loose.Planner.Generator)
+	}
+	if tight.Strategy == loose.Strategy {
+		t.Fatal("different hints reused one cached strategy id")
+	}
+	if tight.Cached || loose.Cached {
+		t.Fatal("fresh designs reported cached")
+	}
+	// Same spec and hints: cache hit with the same id and planner report.
+	resp, body = post(t, ts, "/design", map[string]any{"workload": "prefix:128", "maxDesignMillis": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat design status %d: %s", resp.StatusCode, body)
+	}
+	var again designResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Strategy != tight.Strategy || again.Planner.Generator != "hierarchical" {
+		t.Fatalf("cache hit response %+v", again)
+	}
+}
+
+// A forced generator hint overrides the cost-based choice.
+func TestDesignForcedGenerator(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/design", map[string]any{"workload": "prefix:64", "generator": "identity"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("design status %d: %s", resp.StatusCode, body)
+	}
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Planner.Generator != "identity" || d.Form != "identity" {
+		t.Fatalf("forced generator response %+v", d.Planner)
+	}
+	resp, body = post(t, ts, "/design", map[string]any{"workload": "prefix:64", "generator": "no-such"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown generator status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// The strategy table is permanent server state: past its bound, /design
+// refuses with 507 instead of growing without limit (a client sweeping
+// hint values or posting explicit rows would otherwise mint unbounded
+// entries).
+func TestStrategyTableBound(t *testing.T) {
+	s := New()
+	s.mu.Lock()
+	for i := 0; i < maxStoredStrategies; i++ {
+		s.strategies[fmt.Sprintf("fill%d", i)] = nil
+	}
+	s.mu.Unlock()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := post(t, ts, "/design", map[string]any{"workload": "identity:16"})
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("design past the strategy bound: status %d: %s", resp.StatusCode, body)
+	}
+}

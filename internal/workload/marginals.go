@@ -113,7 +113,9 @@ func marginalSetOp(name string, shape domain.Shape, subsets [][]int) *Workload {
 	for i, s := range subsets {
 		ops[i] = marginalOperator(shape, s)
 	}
-	return FromOperator(name, shape, linalg.StackOps(ops...))
+	w := FromOperator(name, shape, linalg.StackOps(ops...))
+	w.marginalSubsets = subsets
+	return w
 }
 
 // RangeMarginals returns the workload of all k-way range marginals.

@@ -39,6 +39,11 @@ type Workload struct {
 	// product equals the Gram matrix — set by product-form builders like
 	// AllRange so the eigendecomposition can be composed per dimension.
 	gramFactors []*linalg.Matrix
+	// marginalSubsets, when non-nil, are the attribute subsets of a
+	// workload that is a union of plain marginals — set by the marginal
+	// builders so the planner's closed-form marginal designer can admit
+	// the workload without inspecting rows.
+	marginalSubsets [][]int
 }
 
 // maxExplicitEntries caps how many matrix entries (rows × cells) Matrix()
@@ -171,6 +176,18 @@ func (w *Workload) GramFactors() ([]*linalg.Matrix, bool) {
 	return w.gramFactors, w.gramFactors != nil
 }
 
+// MarginalSubsets returns the attribute subsets when the workload is a
+// union of plain marginals (built by Marginals, MarginalSet, AllMarginals
+// or RandomMarginals) and ok = false otherwise. Workload transformations
+// (unions, permutations, scaling) drop the metadata, since the result is
+// no longer a plain marginal set. Callers must not mutate the subsets.
+func (w *Workload) MarginalSubsets() ([][]int, bool) {
+	if w.marginalSubsets == nil {
+		return nil, false
+	}
+	return w.marginalSubsets, true
+}
+
 // SensitivityL2 returns the L2 sensitivity ‖W‖₂ (Prop. 1): the maximum L2
 // column norm, from the operator's analytic column norms when available
 // and the diagonal of the Gram matrix otherwise.
@@ -243,13 +260,18 @@ func (w *Workload) NormalizeRows() *Workload {
 
 // Union stacks several answerable workloads over the same shape into one,
 // as when combining the queries of multiple users (Sec 1). Structured
-// operands stay structured (the union operator stacks them).
+// operands stay structured (the union operator stacks them). A union of
+// plain marginal sets is itself a marginal set, so the subset metadata is
+// preserved and the planner's closed-form marginal designer still
+// applies.
 func Union(name string, ws ...*Workload) *Workload {
 	if len(ws) == 0 {
 		panic("workload: empty union")
 	}
 	shape := ws[0].shape
 	allDense := true
+	allMarginal := true
+	var subsets [][]int
 	ops := make([]linalg.Operator, len(ws))
 	for i, w := range ws {
 		if !w.shape.Equal(shape) && w.Cells() != shape.Size() {
@@ -262,15 +284,30 @@ func Union(name string, ws ...*Workload) *Workload {
 		if _, ok := w.op.(*linalg.Matrix); !ok {
 			allDense = false
 		}
+		// The subsets are only meaningful relative to the union's shape:
+		// Union admits operands whose shape differs but cell count
+		// matches, and a marginal over a reshaped domain is not a
+		// marginal of this one.
+		if w.marginalSubsets == nil || !w.shape.Equal(shape) {
+			allMarginal = false
+		} else {
+			subsets = append(subsets, w.marginalSubsets...)
+		}
 	}
+	var u *Workload
 	if allDense {
 		mats := make([]*linalg.Matrix, len(ws))
 		for i, w := range ws {
 			mats[i] = w.Matrix()
 		}
-		return FromMatrix(name, shape, linalg.StackRows(mats...))
+		u = FromMatrix(name, shape, linalg.StackRows(mats...))
+	} else {
+		u = FromOperator(name, shape, linalg.StackOps(ops...))
 	}
-	return FromOperator(name, shape, linalg.StackOps(ops...))
+	if allMarginal {
+		u.marginalSubsets = subsets
+	}
+	return u
 }
 
 // Scale returns the workload with all queries multiplied by s.

@@ -441,3 +441,28 @@ func TestFromMatrixPanicsOnShapeMismatch(t *testing.T) {
 	}()
 	FromMatrix("bad", domain.MustShape(4), linalg.New(2, 5))
 }
+
+// Marginal-subset metadata: set by the marginal builders, preserved by
+// unions of marginal sets over one shape, and dropped both for non-
+// marginal operands and for equal-cell-count unions over a different
+// shape (whose subsets would index the wrong dimensions).
+func TestMarginalSubsetsMetadata(t *testing.T) {
+	shape := domain.MustShape(4, 4)
+	m1 := Marginals(shape, 1)
+	if subs, ok := m1.MarginalSubsets(); !ok || len(subs) != 2 {
+		t.Fatalf("Marginals metadata = %v, %v", subs, ok)
+	}
+	u := Union("both", Marginals(shape, 1), Marginals(shape, 2))
+	if subs, ok := u.MarginalSubsets(); !ok || len(subs) != 3 {
+		t.Fatalf("union metadata = %v, %v", subs, ok)
+	}
+	if _, ok := Union("mixed", Marginals(shape, 1), AllRange(shape)).MarginalSubsets(); ok {
+		t.Fatal("union with a non-marginal operand kept marginal metadata")
+	}
+	// 2x8 has the same cell count as 4x4, so Union admits it — but its
+	// attribute-0 marginal is not a marginal of the 4x4 domain.
+	reshaped := Marginals(domain.MustShape(2, 8), 1)
+	if _, ok := Union("reshaped", m1, reshaped).MarginalSubsets(); ok {
+		t.Fatal("union across shapes kept marginal metadata")
+	}
+}
