@@ -52,11 +52,27 @@
 // for marginal sets, exact eigen design within the design budget, the
 // factored principal-vector design for large product domains, or a
 // structured fallback — honoring PlanHints (design-time budget,
-// per-release latency target). The plan also fixes the inference method
-// explicitly: a one-time dense pseudo-inverse (small strategies, fastest
-// per release), matrix-free CGLS (structured or large strategies, no
-// O(n³) preprocessing), or normal-equations CG (very tall strategies).
-// Strategy.PlanInfo reports the decision.
+// per-release latency target, shard cap). The plan also fixes the
+// inference method explicitly: a one-time dense pseudo-inverse (small
+// strategies, fastest per release), matrix-free CGLS (structured or
+// large strategies, no O(n³) preprocessing), or normal-equations CG
+// (very tall strategies). Strategy.PlanInfo reports the decision.
+//
+// # Sharded plans
+//
+// Workloads that decompose into independent blocks — a marginal set
+// whose attribute subsets fall into ≥2 disjoint groups, or an explicit
+// block-diagonal query matrix — are planned SHARDED by default: each
+// block is planned independently (blocks may win different generators),
+// and the per-block designs are stitched into one composite strategy
+// that releases all blocks under a single privacy budget, with noise
+// calibrated to the end-to-end sensitivity and per-shard inference run
+// in parallel. This is how marginal workloads on domains far past the
+// monolithic design caps (e.g. 1-way marginals over 64×64 = 4096 cells,
+// or disjoint marginal groups over 10⁵+ cells) keep the closed-form
+// optimal design per block instead of falling back to a tree strategy.
+// PlanHints.MaxShards caps or disables the split; PlanInfo.Shards
+// reports the per-shard outcomes.
 package adaptivemm
 
 import (
@@ -133,8 +149,24 @@ func (s *Strategy) Answer(w *Workload, x []float64, p Privacy, r NoiseSource) ([
 // Estimate returns the differentially private estimate x̂ of the full
 // histogram, from which callers can answer arbitrary linear queries
 // consistently (all derived answers share the one privacy budget).
+// Sharded strategies (see PlanInfo.Shards) never measure the joint
+// histogram and return an error here; use Answer instead.
 func (s *Strategy) Estimate(x []float64, p Privacy, r NoiseSource) ([]float64, error) {
+	if err := s.requireJointEstimate(); err != nil {
+		return nil, err
+	}
 	return s.mech.EstimateGaussian(x, p, r)
+}
+
+// requireJointEstimate refuses the full-histogram estimate entry points
+// for sharded strategies: their private estimates live on per-shard
+// sub-domains, and returning the concatenation where an n-cell histogram
+// is promised would silently hand callers the wrong shape.
+func (s *Strategy) requireJointEstimate() error {
+	if s.mech.Shards() != nil {
+		return fmt.Errorf("adaptivemm: strategy %q is sharded and has no single joint histogram estimate; use Answer, or design with PlanHints{MaxShards: -1} to force a monolithic plan", s.name)
+	}
+	return nil
 }
 
 // Error returns the analytic root-mean-square error of answering w with
@@ -160,20 +192,51 @@ func WithFirstOrderSolver() DesignOption {
 }
 
 // PlanHints are the per-request hints DesignAuto passes to the cost-based
-// strategy planner.
+// strategy planner. The zero value asks for the default cost-based
+// choice with the planner's default budgets.
 type PlanHints struct {
 	// MaxDesignTime bounds how long strategy design may take; generators
 	// whose modeled cost exceeds it are skipped in favor of cheaper ones
 	// (down to the free hierarchical and identity strategies). Zero
-	// applies the planner's default budget.
+	// applies the planner's default budget (roughly: exact eigen design
+	// is admitted up to ~512 cells).
 	MaxDesignTime time.Duration
-	// LatencyTarget is the per-release latency to aim for; a tight target
-	// makes the plan buy the one-time dense pseudo-inverse when the
-	// strategy fits it.
+	// LatencyTarget is the per-release latency to aim for; a target
+	// tighter than the modeled iterative-inference latency makes the plan
+	// buy the one-time dense pseudo-inverse when the strategy fits it.
+	// Zero leaves the inference choice to representation and size.
 	LatencyTarget time.Duration
 	// FirstOrder forces the first-order solver in the optimizing
-	// generators.
+	// generators. The zero value lets the planner pick per design size.
 	FirstOrder bool
+	// MaxShards bounds how many shards the sharded generator may split a
+	// workload into: 0 applies the planner's default cap (16), values
+	// ≥ 2 cap the count (the smallest blocks are merged to fit), and
+	// negative values disable sharding entirely.
+	MaxShards int
+}
+
+// ShardInfo describes one shard of a sharded (composite) plan.
+type ShardInfo struct {
+	// Kind is the split family: "marginal-block" (disjoint attribute
+	// groups of a marginal set) or "cell-block" (disjoint cell groups of
+	// an explicit query matrix).
+	Kind string
+	// Attrs lists the original attribute indices the shard owns
+	// (marginal blocks only; nil for cell blocks).
+	Attrs []int
+	// Cells is the shard's sub-domain size in cells.
+	Cells int
+	// Queries is the shard's sub-workload query count.
+	Queries int
+	// Generator names the generator that won the shard's sub-plan.
+	Generator string
+	// Inference is the shard's inference method ("dense-pinv", "cgls",
+	// "normal-cg").
+	Inference string
+	// ModeledCost is the shard sub-plan's modeled design cost in work
+	// units.
+	ModeledCost float64
 }
 
 // PlanInfo reports how the planner arrived at a strategy.
@@ -183,12 +246,17 @@ type PlanInfo struct {
 	// Note is the planner's one-line rationale.
 	Note string
 	// Inference is the chosen inference method ("dense-pinv", "cgls",
-	// "normal-cg").
+	// "normal-cg", or "sharded" for composite plans that answer per
+	// shard).
 	Inference string
-	// ModeledCost is the winner's modeled design cost in work units.
+	// ModeledCost is the winner's modeled design cost in work units
+	// (roughly floating-point operations).
 	ModeledCost float64
 	// DesignTime is the measured design time.
 	DesignTime time.Duration
+	// Shards lists the per-shard designs of a sharded plan, in shard
+	// order; nil for monolithic plans.
+	Shards []ShardInfo
 }
 
 // PlanInfo returns the planner's report for planner-built strategies
@@ -198,12 +266,25 @@ func (s *Strategy) PlanInfo() (PlanInfo, bool) {
 	if s.plan == nil {
 		return PlanInfo{}, false
 	}
+	var shards []ShardInfo
+	for _, sh := range s.plan.Shards {
+		shards = append(shards, ShardInfo{
+			Kind:        sh.Kind,
+			Attrs:       append([]int(nil), sh.Attrs...),
+			Cells:       sh.Cells,
+			Queries:     sh.Queries,
+			Generator:   sh.Generator,
+			Inference:   sh.Inference,
+			ModeledCost: sh.ModeledCost,
+		})
+	}
 	return PlanInfo{
 		Generator:   s.plan.Generator,
 		Note:        s.plan.Note,
 		Inference:   s.plan.Inference.String(),
 		ModeledCost: s.plan.ModeledCost,
 		DesignTime:  s.plan.DesignTime,
+		Shards:      shards,
 	}, true
 }
 
@@ -217,6 +298,7 @@ func DesignAuto(w *Workload, hints PlanHints) (*Strategy, error) {
 		MaxDesignTime: hints.MaxDesignTime,
 		LatencyTarget: hints.LatencyTarget,
 		FirstOrder:    hints.FirstOrder,
+		MaxShards:     hints.MaxShards,
 	})
 	if err != nil {
 		return nil, err

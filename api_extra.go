@@ -63,7 +63,7 @@ func (s *Strategy) AnswerLaplace(w *Workload, x []float64, epsilon float64, r No
 	if err != nil {
 		return nil, err
 	}
-	return w.MulQueries(xhat), nil
+	return s.mech.WorkloadAnswers(w, xhat)
 }
 
 // ErrorL1 returns the analytic RMSE of answering w with this strategy
@@ -74,8 +74,11 @@ func (s *Strategy) ErrorL1(w *Workload, epsilon float64) (float64, error) {
 
 // EstimateNonNegative is Estimate followed by projection onto non-negative
 // cell counts (free post-processing that often reduces error on sparse
-// data).
+// data). Like Estimate, it refuses sharded strategies.
 func (s *Strategy) EstimateNonNegative(x []float64, p Privacy, r NoiseSource) ([]float64, error) {
+	if err := s.requireJointEstimate(); err != nil {
+		return nil, err
+	}
 	return s.mech.EstimateGaussianNonNegative(x, p, r)
 }
 

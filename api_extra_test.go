@@ -147,3 +147,47 @@ func TestAllPredicateAndAllMarginalsBuilders(t *testing.T) {
 		t.Fatalf("all-predicate design %g vs bound %g", e, lb)
 	}
 }
+
+// Sharded plans refuse the joint-histogram entry points with actionable
+// errors, answer only the workload they were planned for, and report
+// their shards through PlanInfo.
+func TestShardedStrategyGuards(t *testing.T) {
+	w := Marginals(1, 16, 16)
+	s, err := DesignAuto(w, PlanHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := s.PlanInfo()
+	if !ok || info.Generator != "sharded" || len(info.Shards) != 2 {
+		t.Fatalf("plan info = %+v ok=%v, want sharded with 2 shards", info, ok)
+	}
+	x := make([]float64, w.Cells())
+	p := Privacy{Epsilon: 0.5, Delta: 1e-4}
+	r := rand.New(rand.NewSource(4))
+	if _, err := s.Estimate(x, p, r); err == nil {
+		t.Fatal("Estimate must refuse sharded strategies (no joint histogram)")
+	}
+	if _, err := s.EstimateNonNegative(x, p, r); err == nil {
+		t.Fatal("EstimateNonNegative must refuse sharded strategies")
+	}
+	if _, err := s.Answer(w, x, p, r); err != nil {
+		t.Fatalf("Answer on the planned workload: %v", err)
+	}
+	// Same query count, different workload: the shard row segments do not
+	// apply, so the release must be refused rather than mislabeled.
+	other := Marginals(1, 16, 16)
+	if _, err := s.Answer(other, x, p, r); err == nil {
+		t.Fatal("Answer must refuse a workload the plan was not made for")
+	}
+	// A monolithic plan of the same workload still estimates.
+	mono, err := DesignAuto(w, PlanHints{MaxShards: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi, _ := mono.PlanInfo(); mi.Generator == "sharded" {
+		t.Fatalf("MaxShards -1 planned %q", mi.Generator)
+	}
+	if _, err := mono.Estimate(x, p, r); err != nil {
+		t.Fatalf("monolithic Estimate: %v", err)
+	}
+}

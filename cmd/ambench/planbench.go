@@ -25,16 +25,28 @@ type planBenchResult struct {
 	// ExpectedError is omitted (not 0 = "perfect") when the domain is past
 	// the analysis cap and the O(n³) error analysis was skipped.
 	ExpectedError float64 `json:"expectedError,omitempty"`
+	// Shards is the shard count of a sharded plan; omitted for monolithic
+	// plans.
+	Shards int `json:"shards,omitempty"`
+	// MonolithicDesignSeconds is the design latency of the same spec
+	// re-planned with sharding disabled — recorded only when the default
+	// plan was sharded, so the sharded-vs-monolithic trade is visible in
+	// the trajectory.
+	MonolithicDesignSeconds float64 `json:"monolithicDesignSeconds,omitempty"`
+	// MonolithicGenerator names the generator the non-sharded re-plan
+	// chose.
+	MonolithicGenerator string `json:"monolithicGenerator,omitempty"`
 }
 
 // planBenchSuite is the default spec set for -planbench all: one per
 // planner regime (small dense exact, large 1-D structured, large product
-// factored, closed-form marginals).
+// factored, closed-form marginals, sharded two-block marginals).
 var planBenchSuite = []string{
 	"prefix:256",
 	"allrange:2048",
 	"allrange:64x64",
 	"marginals:2:8x8x4",
+	"marginals:1:64x64",
 }
 
 // runPlanBench measures generator-selection latency (Explain, averaged
@@ -82,6 +94,22 @@ func runPlanBench(spec string, outPath string) error {
 			SelectMicros:  selectMicros,
 			DesignSeconds: designSeconds,
 			ExpectedError: expected,
+			Shards:        len(plan.Shards),
+		}
+		if len(plan.Shards) > 0 {
+			// Record the monolithic counterfactual next to the sharded run:
+			// the same spec planned with sharding disabled, on a fresh
+			// planner so neither run warms the other.
+			mono := planner.New(planner.Config{})
+			monoHints := hints
+			monoHints.MaxShards = -1
+			start = time.Now()
+			monoPlan, err := mono.Plan(w, monoHints)
+			if err != nil {
+				return fmt.Errorf("planbench %s (monolithic): %v", sp, err)
+			}
+			res.MonolithicDesignSeconds = time.Since(start).Seconds()
+			res.MonolithicGenerator = monoPlan.Generator
 		}
 		errNote := fmt.Sprintf("err %.4g", expected)
 		if expected == 0 {
@@ -89,6 +117,10 @@ func runPlanBench(spec string, outPath string) error {
 		}
 		fmt.Printf("plan bench: %-18s → %-17s select %.1fµs, design %.3fs (modeled %.3g), %s\n",
 			sp, plan.Generator, selectMicros, designSeconds, plan.ModeledCost, errNote)
+		if res.Shards > 0 {
+			fmt.Printf("            %-18s   sharded ×%d vs monolithic %s: design %.3fs vs %.3fs\n",
+				"", res.Shards, res.MonolithicGenerator, designSeconds, res.MonolithicDesignSeconds)
+		}
 		if outPath != "" {
 			if err := appendBenchResult(outPath, res); err != nil {
 				return err

@@ -102,6 +102,14 @@ func main() {
 	fmt.Printf("planner:         %s (modeled cost %.3g, design %s, inference %s)\n",
 		plan.Generator, plan.ModeledCost, plan.DesignTime.Round(time.Microsecond), plan.Inference)
 	fmt.Printf("                 %s\n", plan.Note)
+	for i, s := range plan.Shards {
+		where := s.Kind
+		if len(s.Attrs) > 0 {
+			where = fmt.Sprintf("attrs %v", s.Attrs)
+		}
+		fmt.Printf("  shard %-2d       %s: %s (%d cells, %d queries, inference %s, modeled cost %.3g)\n",
+			i, where, s.Generator, s.Cells, s.Queries, s.Inference, s.ModeledCost)
+	}
 	if *explain {
 		for _, d := range plan.Decisions {
 			verdict := "rejected"

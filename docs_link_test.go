@@ -1,0 +1,69 @@
+package adaptivemm
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches markdown inline links [text](target). Reference-style
+// links are not used in this repo's docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// docFiles returns README.md plus every markdown file under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	entries, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, entries...)
+}
+
+// TestDocLinks is the docs link checker CI runs: every relative link in
+// README.md and docs/*.md must resolve to an existing file or directory
+// (fragments are checked for presence of the file only). External links
+// are skipped — CI must not depend on the network.
+func TestDocLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, match := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := match[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // same-file fragment
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", file, match[1], err)
+			}
+		}
+	}
+}
+
+// TestReadmeLinksDocs pins the documentation surface: the README must
+// link both docs/ARCHITECTURE.md and docs/HTTP_API.md so the doc pages
+// stay discoverable.
+func TestReadmeLinksDocs(t *testing.T) {
+	body, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/HTTP_API.md"} {
+		if !strings.Contains(string(body), "("+want+")") {
+			t.Errorf("README.md does not link %s", want)
+		}
+		if _, err := os.Stat(want); err != nil {
+			t.Errorf("%s missing: %v", want, err)
+		}
+	}
+}

@@ -38,7 +38,14 @@ func (m *Mechanism) EstimateGaussianNonNegative(x []float64, p Privacy, r NoiseS
 			xhat[i] = 0
 		}
 	}
-	return nnlsPolish(m.a, y, xhat), nil
+	// Sharded estimates live on the concatenated sub-domains, where the
+	// measurement operator is the block-diagonal stack (the projections
+	// are already folded into y).
+	polishOp := m.a
+	if m.shards != nil {
+		polishOp = m.blockOnly
+	}
+	return nnlsPolish(polishOp, y, xhat), nil
 }
 
 // nnlsPolish runs projected gradient descent for min ‖Ax−y‖² over x ≥ 0,
@@ -111,6 +118,9 @@ func l1(v []float64) float64 {
 func (m *Mechanism) QueryVariances(w *workload.Workload, p Privacy) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if m.shards != nil {
+		return nil, fmt.Errorf("mm: per-query variances are not available for sharded strategies; compute them per shard")
 	}
 	if !w.Explicit() {
 		return nil, fmt.Errorf("mm: per-query variances need explicit workload rows; %q has %d queries, past the materialization cap", w.Name(), w.NumQueries())

@@ -38,6 +38,12 @@ const (
 	// independent of the strategy's row count — the right trade for very
 	// tall strategies whose Gram is affordable.
 	InferNormalCG
+	// InferSharded answers per shard and concatenates: the measurement
+	// vector is split at shard boundaries, each slice is solved by that
+	// shard's own prepared inference method (with bounded parallelism),
+	// and the estimate is the concatenation of the per-shard sub-domain
+	// estimates. Only NewShardedMechanism produces this method.
+	InferSharded
 )
 
 // String returns the wire name used in plans and server responses.
@@ -49,6 +55,8 @@ func (i Inference) String() string {
 		return "cgls"
 	case InferNormalCG:
 		return "normal-cg"
+	case InferSharded:
+		return "sharded"
 	default:
 		return "auto"
 	}
@@ -65,6 +73,12 @@ type Mechanism struct {
 	gram      *linalg.Matrix // dense AᵀA for InferNormalCG
 	inference Inference      // resolved method, never InferAuto
 	sensL2    float64
+
+	// Sharded (composite) mechanisms only — see NewShardedMechanism.
+	shards    []Shard
+	shardPar  int                // bounded shard-inference parallelism
+	blockOnly linalg.Operator    // blockdiag(shard strategies), no projections
+	planned   *workload.Workload // the one workload the composite answers
 
 	l1Once sync.Once
 	sensL1 float64
@@ -123,6 +137,8 @@ func NewMechanismInference(a linalg.Operator, inf Inference) (*Mechanism, error)
 		m.gram = linalg.OperatorGram(a)
 	case InferCGLS:
 		// Nothing to prepare: pure matvecs per release.
+	case InferSharded:
+		return nil, fmt.Errorf("mm: sharded inference requires per-shard mechanisms; use NewShardedMechanism")
 	default:
 		return nil, fmt.Errorf("mm: unknown inference method %d", inf)
 	}
@@ -163,13 +179,17 @@ func (m *Mechanism) SensitivityL1() float64 {
 }
 
 // infer computes the least-squares estimate x̂ from noisy strategy answers
-// y through the mechanism's resolved inference method.
+// y through the mechanism's resolved inference method. For sharded
+// mechanisms the estimate is the concatenation of the per-shard
+// sub-domain estimates.
 func (m *Mechanism) infer(y []float64) ([]float64, error) {
 	switch m.inference {
 	case InferDensePinv:
 		return m.apinv.MulVec(y), nil
 	case InferNormalCG:
 		return linalg.SolveSymCG(m.gram, m.a.MulVecT(y), linalg.CGOptions{})
+	case InferSharded:
+		return m.inferSharded(y)
 	default:
 		return linalg.SolveCGLS(m.a, y, linalg.CGOptions{})
 	}
@@ -179,7 +199,9 @@ func (m *Mechanism) infer(y []float64) ([]float64, error) {
 // answers the strategy queries with the Gaussian mechanism and returns the
 // least-squares estimate x̂ of the data vector (steps 1–2 of Prop. 3's
 // three-step description). Workload answers are then consistent linear
-// functions of x̂.
+// functions of x̂. For sharded mechanisms the estimate is the
+// concatenation of the per-shard sub-domain estimates; use
+// WorkloadAnswers (or AnswerGaussian) to map it onto workload answers.
 func (m *Mechanism) EstimateGaussian(x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -215,13 +237,37 @@ func (m *Mechanism) EstimateLaplace(x []float64, epsilon float64, r NoiseSource)
 // AnswerGaussian answers a workload in one shot: private estimate followed
 // by W x̂ (step 3 of Prop. 3). The workload answers go through its
 // operator, so structured workloads of millions of queries are answered
-// without materializing anything.
+// without materializing anything. Sharded mechanisms answer per shard and
+// scatter the answers back into the workload's row order; they only
+// answer the workload they were planned for.
 func (m *Mechanism) AnswerGaussian(w *workload.Workload, x []float64, p Privacy, r NoiseSource) ([]float64, error) {
 	xhat, err := m.EstimateGaussian(x, p, r)
 	if err != nil {
 		return nil, err
 	}
-	return w.MulQueries(xhat), nil
+	return m.WorkloadAnswers(w, xhat)
+}
+
+// WorkloadAnswers maps a private estimate produced by this mechanism onto
+// workload answers: W x̂ for ordinary mechanisms, per-shard sub-workload
+// answers scattered into the original row order for sharded ones (whose
+// estimates are concatenated sub-domain estimates). Sharded mechanisms
+// answer only the exact workload they were planned for — the shard row
+// segments are meaningless for any other — so a different workload is
+// refused even when its query count happens to match.
+func (m *Mechanism) WorkloadAnswers(w *workload.Workload, xhat []float64) ([]float64, error) {
+	if m.shards == nil {
+		return w.MulQueries(xhat), nil
+	}
+	if m.planned != nil && w != m.planned {
+		return nil, fmt.Errorf("mm: sharded mechanism answers only the workload it was planned for (%q); answer %q with its own plan",
+			m.planned.Name(), w.Name())
+	}
+	if w.NumQueries() != m.totalShardQueries() {
+		return nil, fmt.Errorf("mm: sharded mechanism answers only its planned workload (%d queries), got one with %d",
+			m.totalShardQueries(), w.NumQueries())
+	}
+	return m.shardAnswers(xhat), nil
 }
 
 // Gaussian is the plain Gaussian mechanism of Prop. 2: independent noise

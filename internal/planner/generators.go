@@ -27,6 +27,18 @@ import (
 // relative to the budget (DefaultMaxDesignCost admits exact eigen up to
 // ~SmallCellCap cells).
 
+// refuse builds a rejection reason tagged with the named admission rule,
+// so /design explain output pairs every refused candidate with the
+// specific rule that failed (the Decision already carries the public
+// generator name). Rules in the default registry: shape (workload
+// representation), dims, size-cap (domain too large for the family's
+// algebra), regime (another family dominates here), branch, hint,
+// min-cells, block-count, shard-admission, monolithic-dominates, budget,
+// build.
+func refuse(rule, format string, args ...any) string {
+	return "rule " + rule + ": " + fmt.Sprintf(format, args...)
+}
+
 func cube(n int) float64 { f := float64(n); return f * f * f }
 
 // denseCubeCost models one O(n³) dense stage (eigendecomposition, or a
@@ -91,15 +103,15 @@ func (marginalsGen) Name() string { return "marginals" }
 func (marginalsGen) Propose(w *workload.Workload, h Hints, forced bool) (*Proposal, string) {
 	subsets, ok := w.MarginalSubsets()
 	if !ok {
-		return nil, "workload is not a plain marginal set"
+		return nil, refuse("shape", "workload is not a plain marginal set (no marginal-subset metadata)")
 	}
 	dims := w.Shape().Dims()
 	if dims > 30 {
-		return nil, fmt.Sprintf("%d dimensions exceed the subset-mask limit", dims)
+		return nil, refuse("dims", "%d dimensions exceed the subset-mask limit of 30", dims)
 	}
 	n := w.Cells()
 	if h.sizeClass(n) > SizeMedium {
-		return nil, fmt.Sprintf("dense marginal strategy needs ≤ %d cells, workload has %d", MediumCellCap, n)
+		return nil, refuse("size-cap", "dense marginal strategy needs ≤ %d cells, workload has %d", MediumCellCap, n)
 	}
 	cost := float64(n)*float64(n) + math.Exp2(float64(dims))*float64(n)
 	return &Proposal{
@@ -129,13 +141,13 @@ func (eigenGen) Propose(w *workload.Workload, h Hints, forced bool) (*Proposal, 
 	var note string
 	if factored {
 		if n > FactoredExactCellCap {
-			return nil, fmt.Sprintf("exact factored design streams an n×n constraint matrix; %d cells past the %d cap (principal-vectors covers this regime)", n, FactoredExactCellCap)
+			return nil, refuse("size-cap", "exact factored design streams an n×n constraint matrix; %d cells past the %d cap (principal-vectors covers this regime)", n, FactoredExactCellCap)
 		}
 		cost = factorCubesCost(w) + 2*denseCubeCost(n)
 		note = fmt.Sprintf("exact Program 2 on the factored Kronecker eigenbasis (solver: %s)", solverName(h, n))
 	} else {
 		if h.sizeClass(n) > SizeMedium {
-			return nil, fmt.Sprintf("dense pipeline needs ≤ %d cells (O(n³) algebra), workload has %d", MediumCellCap, n)
+			return nil, refuse("size-cap", "dense pipeline needs ≤ %d cells (O(n³) algebra), workload has %d", MediumCellCap, n)
 		}
 		cost = 2 * denseCubeCost(n)
 		note = fmt.Sprintf("exact Program 2 on the dense eigenbasis (solver: %s)", solverName(h, n))
@@ -171,14 +183,14 @@ func (separationGen) Propose(w *workload.Workload, h Hints, forced bool) (*Propo
 		// The second separation phase optimizes n/g ≈ n^⅔ variables — not
 		// the scalable factored design. Auto mode leaves this regime to
 		// principal-vectors; an explicit hint still gets it.
-		return nil, "factored separation's second phase keeps n^⅔ variables; principal-vectors is the scalable choice here (force eigen-separation to override)"
+		return nil, refuse("regime", "factored separation's second phase keeps n^⅔ variables; principal-vectors is the scalable choice here (force eigen-separation to override)")
 	}
 	var cost float64
 	if factored {
 		cost = factorCubesCost(w) + 30*float64(g)*float64(n)*float64(n)
 	} else {
 		if h.sizeClass(n) > SizeMedium {
-			return nil, fmt.Sprintf("dense pipeline needs ≤ %d cells (O(n³) algebra), workload has %d", MediumCellCap, n)
+			return nil, refuse("size-cap", "dense pipeline needs ≤ %d cells (O(n³) algebra), workload has %d", MediumCellCap, n)
 		}
 		cost = denseCubeCost(n) + 30*float64(g)*float64(n)*float64(n)
 	}
@@ -220,7 +232,7 @@ func (principalGen) Propose(w *workload.Workload, h Hints, forced bool) (*Propos
 		note = fmt.Sprintf("factored principal-vector design, k=%d: per-dimension eigendecompositions only, k+1 weight variables regardless of n", k)
 	} else {
 		if h.sizeClass(n) > SizeMedium {
-			return nil, fmt.Sprintf("dense pipeline needs ≤ %d cells (O(n³) algebra), workload has %d", MediumCellCap, n)
+			return nil, refuse("size-cap", "dense pipeline needs ≤ %d cells (O(n³) algebra), workload has %d", MediumCellCap, n)
 		}
 		cost = denseCubeCost(n) + 30*float64(k)*float64(k)*float64(n)
 		note = fmt.Sprintf("principal-vector design, k=%d (Sec 4.2)", k)
@@ -251,7 +263,7 @@ func (hierarchicalGen) Propose(w *workload.Workload, h Hints, forced bool) (*Pro
 		branch = 2
 	}
 	if branch < 2 {
-		return nil, fmt.Sprintf("branching factor %d < 2", branch)
+		return nil, refuse("branch", "branching factor %d < 2", branch)
 	}
 	n := w.Cells()
 	return &Proposal{

@@ -30,6 +30,7 @@ package planner
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -131,6 +132,11 @@ type Hints struct {
 	// analysis runs: 0 applies DefaultAnalysisCellCap, negative disables
 	// the analysis.
 	AnalysisCap int
+	// MaxShards bounds how many shards the sharded generator may split a
+	// workload into: 0 applies DefaultMaxShards, values ≥ 2 cap the count
+	// (excess blocks are merged smallest-first), and negative values
+	// disable sharding entirely.
+	MaxShards int
 	// CacheKey, when non-empty and the planner has a cache, makes the
 	// plan reusable under this canonical workload key combined with the
 	// hint fingerprint. Callers must guarantee equal keys mean equal
@@ -143,9 +149,9 @@ type Hints struct {
 // all candidates' errors by the same factor and never changes the winner
 // (per-pair error analyses are memoized on the Plan instead).
 func (h Hints) Fingerprint() string {
-	return fmt.Sprintf("v1|c=%g|t=%d|lat=%d|sz=%d|gen=%s|g=%d|k=%d|b=%d|fo=%t|ac=%d",
+	return fmt.Sprintf("v2|c=%g|t=%d|lat=%d|sz=%d|gen=%s|g=%d|k=%d|b=%d|fo=%t|ac=%d|ms=%d",
 		h.MaxDesignCost, int64(h.MaxDesignTime), int64(h.LatencyTarget), h.Size,
-		h.Generator, h.GroupSize, h.PrincipalK, h.Branch, h.FirstOrder, h.AnalysisCap)
+		h.Generator, h.GroupSize, h.PrincipalK, h.Branch, h.FirstOrder, h.AnalysisCap, h.MaxShards)
 }
 
 // sizeClass returns the effective class: derived from the cell count,
@@ -200,6 +206,36 @@ type Built struct {
 	Dense *linalg.Matrix
 	// Eigenvalues of WᵀW when the generator computed them.
 	Eigenvalues []float64
+	// Prepared is a mechanism the generator already built around the
+	// strategy; when set the planner skips its own inference choice and
+	// mechanism preparation (the sharded generator's composite mechanism
+	// fixes both).
+	Prepared *mm.Mechanism
+	// Shards describes the composite plan's shards, in order, when the
+	// strategy is a sharded composition.
+	Shards []ShardInfo
+	// ShardPlans are the underlying per-shard plans of a composite.
+	ShardPlans []*Plan
+}
+
+// ShardInfo is the reportable summary of one shard of a composite plan;
+// the server surfaces the list in /design responses.
+type ShardInfo struct {
+	// Kind is "marginal-block" or "cell-block".
+	Kind string `json:"kind"`
+	// Attrs lists the original attribute ids the shard owns (marginal
+	// blocks only).
+	Attrs []int `json:"attrs,omitempty"`
+	// Cells is the shard's sub-domain size.
+	Cells int `json:"cells"`
+	// Queries is the shard's sub-workload query count.
+	Queries int `json:"queries"`
+	// Generator names the generator that won the shard's sub-plan.
+	Generator string `json:"generator"`
+	// Inference is the shard's chosen inference method.
+	Inference string `json:"inference"`
+	// ModeledCost is the shard sub-plan's modeled design cost.
+	ModeledCost float64 `json:"modeledCost"`
 }
 
 // Generator is one candidate strategy family in the registry. Propose
@@ -249,6 +285,12 @@ type Plan struct {
 	DesignTime time.Duration
 	// Decisions lists every generator's admission outcome.
 	Decisions []Decision
+	// Shards describes the per-shard sub-plans when the plan is a sharded
+	// composition (generator "sharded"); nil otherwise.
+	Shards []ShardInfo
+
+	// shardPlans backs the composite error analysis of sharded plans.
+	shardPlans []*Plan
 
 	analysisCap int
 	mu          sync.Mutex
@@ -258,8 +300,15 @@ type Plan struct {
 // ExpectedError returns the analytic RMSE of answering the planned
 // workload with this plan's strategy at the given privacy pair (Prop. 4),
 // memoized per pair. It reports 0 without error past the plan's analysis
-// cap, where the O(n³) analysis is deliberately skipped.
+// cap, where the O(n³) analysis is deliberately skipped. Sharded plans
+// combine the per-shard analyses instead — each shard analyzes its own
+// (much smaller) sub-domain, so a composite over a domain far past the
+// cap still reports a real error as long as every shard affords its own
+// analysis.
 func (p *Plan) ExpectedError(pr mm.Privacy) (float64, error) {
+	if p.shardPlans != nil {
+		return p.shardedExpectedError(pr)
+	}
 	if p.Workload.Cells() > p.analysisCap {
 		return 0, nil
 	}
@@ -279,6 +328,60 @@ func (p *Plan) ExpectedError(pr mm.Privacy) (float64, error) {
 		p.errByPair = map[mm.Privacy]float64{}
 	}
 	p.errByPair[pr] = e
+	return e, nil
+}
+
+// shardedExpectedError combines the shard plans' analyses into the
+// composite RMSE. Shard i's per-query mean squared error under the
+// composite noise scale is its standalone MSE rescaled by the sensitivity
+// ratio (the composite calibrates one σ to the end-to-end sensitivity),
+// so with Eᵢ the standalone shard error, sᵢ the shard sensitivity and s
+// the composite sensitivity,
+//
+//	E² = Σᵢ mᵢ·(Eᵢ·s/sᵢ)² / Σᵢ mᵢ.
+//
+// If any shard skipped its analysis (past the analysis cap) the composite
+// reports 0 (skipped) too.
+func (p *Plan) shardedExpectedError(pr mm.Privacy) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	if e, ok := p.errByPair[pr]; ok {
+		p.mu.Unlock()
+		return e, nil
+	}
+	p.mu.Unlock()
+	sens := p.Mechanism.SensitivityL2()
+	var sumSq float64
+	var m int
+	for _, sp := range p.shardPlans {
+		e, err := sp.ExpectedError(pr)
+		if err != nil {
+			return 0, err
+		}
+		if e == 0 {
+			return 0, nil // a shard skipped its analysis: composite skipped
+		}
+		si := sp.Mechanism.SensitivityL2()
+		if si <= 0 {
+			return 0, fmt.Errorf("planner: shard %q has zero sensitivity", sp.Generator)
+		}
+		mi := sp.Workload.NumQueries()
+		scaled := e * sens / si
+		sumSq += float64(mi) * scaled * scaled
+		m += mi
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("planner: sharded plan has no queries")
+	}
+	e := math.Sqrt(sumSq / float64(m))
+	p.mu.Lock()
+	if p.errByPair == nil {
+		p.errByPair = map[mm.Privacy]float64{}
+	}
+	p.errByPair[pr] = e
+	p.mu.Unlock()
 	return e, nil
 }
 
@@ -320,6 +423,7 @@ func New(cfg Config) *Planner {
 		principalGen{},
 		hierarchicalGen{},
 		identityGen{},
+		&shardedGen{p: p},
 	}
 	return p
 }
@@ -437,7 +541,7 @@ func (p *Planner) propose(w *workload.Workload, h Hints) ([]scoredCand, []Decisi
 			cheapest = &cc
 		}
 		if prop.Cost > budget {
-			decisions[di].Reason = fmt.Sprintf("modeled cost %.3g exceeds the design budget %.3g", prop.Cost, budget)
+			decisions[di].Reason = refuse("budget", "modeled cost %.3g exceeds the design budget %.3g", prop.Cost, budget)
 			continue
 		}
 		decisions[di].Admitted = true
@@ -503,7 +607,7 @@ func (p *Planner) Plan(w *workload.Workload, h Hints) (*Plan, error) {
 		start := time.Now()
 		b, err := c.prop.Build()
 		if err != nil {
-			decisions[c.di].Reason = fmt.Sprintf("build failed: %v", err)
+			decisions[c.di].Reason = refuse("build", "design failed: %v", err)
 			decisions[c.di].Admitted = false
 			failures = append(failures, fmt.Sprintf("%s: %v", c.gen.Name(), err))
 			continue
@@ -515,13 +619,27 @@ func (p *Planner) Plan(w *workload.Workload, h Hints) (*Plan, error) {
 	if built == nil {
 		return nil, fmt.Errorf("planner: every admitted generator failed: %s", strings.Join(failures, "; "))
 	}
-	p.observeRate(win.prop.Cost, elapsed)
+	if built.Prepared == nil {
+		// Composite builds plan their shards concurrently and each shard's
+		// own Plan call already calibrated the rate; folding the summed
+		// cost over the parallel wall-clock would double-count the work
+		// and inflate the throughput by up to the core count.
+		p.observeRate(win.prop.Cost, elapsed)
+	}
 	decisions[win.di].Selected = true
 
-	inf := p.chooseInference(*built, h)
-	mech, err := mm.NewMechanismInference(built.Op, inf)
-	if err != nil {
-		return nil, fmt.Errorf("planner: preparing %s inference for generator %s: %w", inf, win.gen.Name(), err)
+	mech := built.Prepared
+	var inf mm.Inference
+	if mech != nil {
+		// The generator prepared the mechanism itself (sharded composites
+		// fix their own inference); the planner only reports it.
+		inf = mech.Inference()
+	} else {
+		inf = p.chooseInference(*built, h)
+		mech, err = mm.NewMechanismInference(built.Op, inf)
+		if err != nil {
+			return nil, fmt.Errorf("planner: preparing %s inference for generator %s: %w", inf, win.gen.Name(), err)
+		}
 	}
 	plan := &Plan{
 		Generator:   win.gen.Name(),
@@ -535,6 +653,8 @@ func (p *Planner) Plan(w *workload.Workload, h Hints) (*Plan, error) {
 		ModeledCost: win.prop.Cost,
 		DesignTime:  elapsed,
 		Decisions:   decisions,
+		Shards:      built.Shards,
+		shardPlans:  built.ShardPlans,
 		analysisCap: h.analysisCap(),
 	}
 	if h.Privacy.Validate() == nil {

@@ -91,6 +91,13 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) ([]float64, Budget,
 	// Both modes share one response payload cap: m answers or n estimate
 	// cells, either can be the oversized one.
 	if req.Mode == "estimate" {
+		if ent.plan.Mechanism.Shards() != nil {
+			// A sharded plan estimates per-shard sub-histograms, not the
+			// n-cell joint histogram (for marginal blocks the joint is never
+			// measured); the honest payload is the workload answers.
+			return nil, Budget{}, releaseErrorf(http.StatusUnprocessableEntity,
+				"strategy %q is sharded and has no single joint histogram estimate; request mode \"answers\" instead", req.Strategy)
+		}
 		if ent.plan.Workload.Cells() > maxAnswerRows {
 			return nil, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
 				"histogram estimate has %d cells, past the %d-value response cap; a domain this large cannot be released over HTTP — use the library API",

@@ -32,9 +32,13 @@
 // Endpoints (JSON):
 //
 //	POST /design    {"workload": "allrange:8x16"} or {"rows": [[...]], "shape": [8,16]}
-//	                → {"strategy": id, "queries": m, "cells": n, "form": "eigen|principal|hierarchical",
+//	                → {"strategy": id, "queries": m, "cells": n, "form": "eigen|principal|hierarchical|sharded",
 //	                   "epsilon": ..., "delta": ..., "cached": bool,
 //	                   "expectedError": ..., "lowerBound": ...}   (error fields 0 when skipped at scale)
+//	                The "planner" block names the winning generator; for
+//	                sharded plans (workloads that split into independent
+//	                blocks) it also lists "shards": each shard's
+//	                generator, cells, queries, inference and cost.
 //	POST /datasets  {"name": "adult", "histogram": [...], "cap": {"epsilon": 2, "delta": 1e-3}}
 //	                → {"name": ..., "cells": n, "cap": {...}}    cap optional (absent = unlimited)
 //	GET  /datasets  → {"<name>": {"cells": n, "cap": {...}, "spent": {...}, "remaining": {...}}, ...}
@@ -44,7 +48,9 @@
 //	                histogram may be omitted for a registered dataset;
 //	                mode "estimate" returns the n-cell private histogram
 //	                estimate instead of the m workload answers — the right
-//	                choice when m is in the millions. 429 with the
+//	                choice when m is in the millions (sharded strategies
+//	                refuse it with 422: they never measure the joint
+//	                histogram). 429 with the
 //	                remaining budget when the release would exceed the cap;
 //	                403 when a seed is pinned on a registered dataset.
 //	POST /release   {"releases": [{"strategy": id, "dataset": name, "epsilon": ...,
@@ -265,14 +271,16 @@ type designRequest struct {
 }
 
 // plannerReport is the /design response block naming the winning
-// generator and why every other candidate lost.
+// generator and why every other candidate lost. For sharded plans it
+// also lists each shard's generator, cost and inference method.
 type plannerReport struct {
-	Generator    string             `json:"generator"`
-	Note         string             `json:"note,omitempty"`
-	ModeledCost  float64            `json:"modeledCost"`
-	DesignMillis float64            `json:"designMillis"`
-	Inference    string             `json:"inference"`
-	Considered   []planner.Decision `json:"considered,omitempty"`
+	Generator    string              `json:"generator"`
+	Note         string              `json:"note,omitempty"`
+	ModeledCost  float64             `json:"modeledCost"`
+	DesignMillis float64             `json:"designMillis"`
+	Inference    string              `json:"inference"`
+	Shards       []planner.ShardInfo `json:"shards,omitempty"`
+	Considered   []planner.Decision  `json:"considered,omitempty"`
 }
 
 type designResponse struct {
@@ -451,6 +459,7 @@ func (s *Server) respondDesign(w http.ResponseWriter, id string, ent *entry, p m
 			ModeledCost:  plan.ModeledCost,
 			DesignMillis: float64(plan.DesignTime) / float64(time.Millisecond),
 			Inference:    plan.Inference.String(),
+			Shards:       plan.Shards,
 			Considered:   plan.Decisions,
 		},
 	})

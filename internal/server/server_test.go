@@ -556,3 +556,88 @@ func TestStrategyTableBound(t *testing.T) {
 		t.Fatalf("design past the strategy bound: status %d: %s", resp.StatusCode, body)
 	}
 }
+
+// A marginal workload with ≥2 disjoint attribute blocks is planned
+// sharded by default: the planner block lists every shard's generator,
+// releases run the composite end to end (mode "estimate" is refused with
+// guidance), and batch /release drives the sharded strategy too.
+func TestDesignShardedPlannerBlock(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/design", map[string]any{"workload": "marginals:1:16x16"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("design status %d: %s", resp.StatusCode, body)
+	}
+	var d designResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Planner.Generator != "sharded" || d.Form != "sharded" {
+		t.Fatalf("generator = %q form = %q, want sharded", d.Planner.Generator, d.Form)
+	}
+	if d.Planner.Inference != "sharded" {
+		t.Fatalf("inference = %q, want sharded", d.Planner.Inference)
+	}
+	if len(d.Planner.Shards) != 2 {
+		t.Fatalf("planner block lists %d shards, want 2: %+v", len(d.Planner.Shards), d.Planner.Shards)
+	}
+	for i, s := range d.Planner.Shards {
+		if s.Generator != "marginals" || s.Cells != 16 || s.Kind != "marginal-block" {
+			t.Fatalf("shard %d = %+v", i, s)
+		}
+	}
+	if d.ExpectedError <= 0 {
+		t.Fatalf("sharded plan lost its combined error analysis: %+v", d)
+	}
+
+	hist := make([]float64, 256)
+	for i := range hist {
+		hist[i] = float64(i % 9)
+	}
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "sharddb", "histogram": hist,
+		"epsilon": 0.5, "delta": 1e-4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer status %d: %s", resp.StatusCode, body)
+	}
+	var ans answerResponse
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Answers) != d.Queries {
+		t.Fatalf("got %d answers, want %d", len(ans.Answers), d.Queries)
+	}
+
+	// Sharded strategies have no joint histogram estimate.
+	resp, body = post(t, ts, "/answer", map[string]any{
+		"strategy": d.Strategy, "dataset": "sharddb2", "histogram": hist,
+		"epsilon": 0.5, "delta": 1e-4, "mode": "estimate",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("estimate on sharded strategy: status %d, want 422: %s", resp.StatusCode, body)
+	}
+
+	// Batch releases reuse the shard-parallel release path.
+	resp, body = post(t, ts, "/datasets", map[string]any{"name": "regd", "histogram": hist})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("datasets status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts, "/release", map[string]any{
+		"releases": []map[string]any{
+			{"strategy": d.Strategy, "dataset": "regd", "epsilon": 0.2, "delta": 1e-5},
+			{"strategy": d.Strategy, "dataset": "regd", "epsilon": 0.2, "delta": 1e-5},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release status %d: %s", resp.StatusCode, body)
+	}
+	var batch batchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Succeeded != 2 || batch.Failed != 0 {
+		t.Fatalf("batch outcome %+v", batch)
+	}
+}

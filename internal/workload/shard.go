@@ -1,0 +1,397 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adaptivemm/internal/domain"
+	"adaptivemm/internal/linalg"
+)
+
+// This file implements workload splitting for the sharded planner: a
+// workload that decomposes into independent blocks is partitioned into
+// sub-workloads that can be planned (and released) separately and
+// stitched back together.
+//
+// Two shapes are shardable:
+//
+//   - MARGINAL BLOCKS: a marginal-set workload whose attribute subsets
+//     fall into ≥2 connected components. Each block owns a disjoint
+//     attribute group; its sub-workload is the same marginal set over the
+//     projected sub-domain, and its projection operator marginalizes the
+//     full histogram onto that sub-domain.
+//   - CELL BLOCKS: an explicit workload whose query rows touch ≥2
+//     disjoint cell groups (a block-diagonal query matrix up to row and
+//     column order). Each block owns a disjoint cell subset; its
+//     projection selects those cells.
+//
+// Both projections are 0/1 operators mapping each original cell to at
+// most one sub-domain cell — the property the composite mechanism's
+// sensitivity lifting relies on (see mm.NewShardedMechanism).
+
+// RowSegment locates a contiguous run of a block's query answers inside
+// the original workload's row order: the block's answers fill rows
+// [Start, Start+Len) of the original answer vector, in block row order.
+type RowSegment struct {
+	Start int
+	Len   int
+}
+
+// Block is one shard of a split workload.
+type Block struct {
+	// Kind is "marginal-block" or "cell-block".
+	Kind string
+	// Attrs lists the original attribute ids the block owns (marginal
+	// blocks only), sorted ascending.
+	Attrs []int
+	// Sub is the block's sub-workload over its own sub-domain.
+	Sub *Workload
+	// Project maps the full histogram to the block's sub-domain: a 0/1
+	// operator with at most one nonzero per column (marginalization for
+	// marginal blocks, cell selection for cell blocks).
+	Project linalg.Operator
+	// Segments maps the block's answer rows back into the original
+	// workload's row order; segment lengths sum to Sub.NumQueries().
+	Segments []RowSegment
+}
+
+// Label returns a short human-readable description of the block.
+func (b *Block) Label() string {
+	if b.Kind == "marginal-block" {
+		parts := make([]string, len(b.Attrs))
+		for i, a := range b.Attrs {
+			parts[i] = fmt.Sprint(a)
+		}
+		return "attrs " + strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("%d cells", b.Sub.Cells())
+}
+
+// unionFind is a plain union-find over 0..n-1.
+type unionFind []int
+
+func newUnionFind(n int) unionFind {
+	uf := make(unionFind, n)
+	for i := range uf {
+		uf[i] = i
+	}
+	return uf
+}
+
+func (uf unionFind) find(i int) int {
+	for uf[i] != i {
+		uf[i] = uf[uf[i]]
+		i = uf[i]
+	}
+	return i
+}
+
+func (uf unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra != rb {
+		uf[ra] = rb
+	}
+}
+
+// MarginalBlocks partitions a marginal-set workload into its connected
+// attribute components: two marginal subsets share a block exactly when
+// their attribute sets are (transitively) linked by a shared attribute.
+// The empty subset (the total query) carries no attribute and is assigned
+// to the first block — every block's total equals the full-domain total,
+// so any assignment is exact.
+//
+// ok is false when the workload is not a plain marginal set (nothing to
+// split). A connected workload returns a single block. maxBlocks > 0
+// caps the block count by merging the smallest blocks (by sub-domain cell
+// count) until it fits; the merged sub-workload is still a plain marginal
+// set over the merged attribute group.
+func MarginalBlocks(w *Workload, maxBlocks int) ([]Block, bool) {
+	subsets, ok := w.MarginalSubsets()
+	if !ok {
+		return nil, false
+	}
+	shape := w.Shape()
+	dims := shape.Dims()
+	if dims < 2 || len(subsets) == 0 {
+		return nil, ok
+	}
+	uf := newUnionFind(dims)
+	for _, s := range subsets {
+		if len(s) == 0 {
+			continue
+		}
+		for _, a := range s[1:] {
+			uf.union(s[0], a)
+		}
+	}
+	// Group subset indices by component; components with no subsets
+	// (attributes every query sums over) belong to no block.
+	groups := map[int][]int{}
+	var order []int // component roots in first-appearance order
+	firstRoot := -1
+	for t, s := range subsets {
+		if len(s) == 0 {
+			continue // empty subsets assigned after grouping
+		}
+		root := uf.find(s[0])
+		if _, seen := groups[root]; !seen {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], t)
+		if firstRoot < 0 {
+			firstRoot = root
+		}
+	}
+	if len(order) == 0 {
+		// Only total queries: nothing to split along.
+		return nil, ok
+	}
+	for t, s := range subsets {
+		if len(s) == 0 {
+			groups[firstRoot] = append(groups[firstRoot], t)
+		}
+	}
+	// One subset-index list per block, each kept in original subset order
+	// so row segments stay aligned.
+	blocksIdx := make([][]int, 0, len(order))
+	for _, root := range order {
+		idx := groups[root]
+		sort.Ints(idx)
+		blocksIdx = append(blocksIdx, idx)
+	}
+	if maxBlocks > 0 {
+		// Block size = projected cell count (the product of its attribute
+		// dimensions): merging the smallest blocks first keeps the split
+		// granularity where it pays.
+		blocksIdx = mergeSmallest(blocksIdx, maxBlocks, func(idx []int) int {
+			attrs := map[int]bool{}
+			for _, t := range idx {
+				for _, a := range subsets[t] {
+					attrs[a] = true
+				}
+			}
+			n := 1
+			for a := range attrs {
+				n *= shape[a]
+			}
+			return n
+		})
+	}
+
+	// Row offsets: subset t starts at the sum of the preceding subsets'
+	// row counts (a marginal over S has Π_{a∈S} shape[a] rows).
+	offsets := make([]int, len(subsets)+1)
+	for t, s := range subsets {
+		rows := 1
+		for _, a := range s {
+			rows *= shape[a]
+		}
+		offsets[t+1] = offsets[t] + rows
+	}
+
+	out := make([]Block, 0, len(blocksIdx))
+	for _, idx := range blocksIdx {
+		attrSet := map[int]bool{}
+		for _, t := range idx {
+			for _, a := range subsets[t] {
+				attrSet[a] = true
+			}
+		}
+		attrs := make([]int, 0, len(attrSet))
+		for a := range attrSet {
+			attrs = append(attrs, a)
+		}
+		sort.Ints(attrs)
+		if len(attrs) == 0 {
+			// A block of only total queries cannot stand alone (its
+			// sub-domain would be empty); unreachable after the empty-subset
+			// assignment above, but refuse splitting rather than panic.
+			return nil, ok
+		}
+		local := make(map[int]int, len(attrs))
+		subDims := make([]int, len(attrs))
+		for i, a := range attrs {
+			local[a] = i
+			subDims[i] = shape[a]
+		}
+		subShape := domain.MustShape(subDims...)
+		localSubsets := make([][]int, len(idx))
+		segments := make([]RowSegment, 0, len(idx))
+		for i, t := range idx {
+			ls := make([]int, len(subsets[t]))
+			for j, a := range subsets[t] {
+				ls[j] = local[a]
+			}
+			localSubsets[i] = ls
+			seg := RowSegment{Start: offsets[t], Len: offsets[t+1] - offsets[t]}
+			if n := len(segments); n > 0 && segments[n-1].Start+segments[n-1].Len == seg.Start {
+				segments[n-1].Len += seg.Len
+			} else {
+				segments = append(segments, seg)
+			}
+		}
+		b := Block{
+			Kind:     "marginal-block",
+			Attrs:    attrs,
+			Project:  marginalOperator(shape, attrs),
+			Segments: segments,
+		}
+		b.Sub = MarginalSet(fmt.Sprintf("%s [%s]", w.Name(), b.Label()), subShape, localSubsets)
+		out = append(out, b)
+	}
+	return out, true
+}
+
+// mergeSmallest merges the two smallest groups (under the given size
+// metric) until at most maxGroups remain. Merged index lists are
+// re-sorted so downstream row segments stay in original order.
+func mergeSmallest(groups [][]int, maxGroups int, size func([]int) int) [][]int {
+	for len(groups) > maxGroups && len(groups) > 1 {
+		i0, i1 := 0, 1
+		if size(groups[i1]) < size(groups[i0]) {
+			i0, i1 = i1, i0
+		}
+		for i := 2; i < len(groups); i++ {
+			s := size(groups[i])
+			if s < size(groups[i0]) {
+				i0, i1 = i, i0
+			} else if s < size(groups[i1]) {
+				i1 = i
+			}
+		}
+		merged := append(append([]int(nil), groups[i0]...), groups[i1]...)
+		sort.Ints(merged)
+		if i0 > i1 {
+			i0, i1 = i1, i0
+		}
+		groups[i0] = merged
+		groups = append(groups[:i1], groups[i1+1:]...)
+	}
+	return groups
+}
+
+// CellBlocks partitions an explicit workload whose query matrix is
+// block-diagonal up to row and column order: rows land in the same block
+// exactly when their nonzero cell supports are (transitively) linked.
+// Cells no query touches belong to no block. All-zero query rows are
+// assigned to the first block (their answer is 0 under any strategy).
+//
+// ok is false when the workload has no materialized dense rows — the
+// splitter never materializes anything itself. A connected workload
+// returns a single block. maxBlocks caps the count like MarginalBlocks.
+func CellBlocks(w *Workload, maxBlocks int) ([]Block, bool) {
+	if w.mat == nil {
+		return nil, false
+	}
+	mat := w.mat
+	m, n := mat.Rows(), mat.Cols()
+	if m == 0 || n < 2 {
+		return nil, false
+	}
+	uf := newUnionFind(n)
+	rowFirst := make([]int, m) // first nonzero column per row, -1 for zero rows
+	for i := 0; i < m; i++ {
+		rowFirst[i] = -1
+		row := mat.Row(i)
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			if rowFirst[i] < 0 {
+				rowFirst[i] = j
+			} else {
+				uf.union(rowFirst[i], j)
+			}
+		}
+		// Link runs lazily: every later nonzero was unioned with the first.
+	}
+	groups := map[int][]int{} // component root → row indices, in order
+	var order []int
+	for i := 0; i < m; i++ {
+		if rowFirst[i] < 0 {
+			continue
+		}
+		root := uf.find(rowFirst[i])
+		if _, seen := groups[root]; !seen {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], i)
+	}
+	if len(order) == 0 {
+		return nil, false
+	}
+	for i := 0; i < m; i++ {
+		if rowFirst[i] < 0 {
+			groups[order[0]] = append(groups[order[0]], i)
+		}
+	}
+	rowsIdx := make([][]int, 0, len(order))
+	for _, root := range order {
+		idx := groups[root]
+		sort.Ints(idx)
+		rowsIdx = append(rowsIdx, idx)
+	}
+	if maxBlocks > 0 {
+		// Block size = row count: merge the blocks with the fewest rows.
+		rowsIdx = mergeSmallest(rowsIdx, maxBlocks, func(idx []int) int { return len(idx) })
+	}
+
+	out := make([]Block, 0, len(rowsIdx))
+	for bi, idx := range rowsIdx {
+		colSet := map[int]bool{}
+		for _, i := range idx {
+			row := mat.Row(i)
+			for j, v := range row {
+				if v != 0 {
+					colSet[j] = true
+				}
+			}
+		}
+		cols := make([]int, 0, len(colSet))
+		for j := range colSet {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		if len(cols) == 0 {
+			// A block of only zero rows (possible when every nonzero row
+			// merged elsewhere): give it the first cell so the sub-domain is
+			// non-empty.
+			cols = []int{0}
+		}
+		localCol := make(map[int]int, len(cols))
+		for j, c := range cols {
+			localCol[c] = j
+		}
+		sub := linalg.New(len(idx), len(cols))
+		for si, i := range idx {
+			row := mat.Row(i)
+			srow := sub.Row(si)
+			for j, v := range row {
+				if v != 0 {
+					srow[localCol[j]] = v
+				}
+			}
+		}
+		var segments []RowSegment
+		for _, i := range idx {
+			if k := len(segments); k > 0 && segments[k-1].Start+segments[k-1].Len == i {
+				segments[k-1].Len++
+			} else {
+				segments = append(segments, RowSegment{Start: i, Len: 1})
+			}
+		}
+		out = append(out, Block{
+			Kind:     "cell-block",
+			Sub:      FromMatrix(fmt.Sprintf("%s [block %d: %d cells]", w.Name(), bi, len(cols)), domain.MustShape(len(cols)), sub),
+			Project:  linalg.PermuteRows(linalg.Eye(n), cols),
+			Segments: segments,
+		})
+	}
+	return out, true
+}
+
+// HasDenseRows reports whether the workload's explicit rows are already
+// materialized — the precondition CellBlocks checks, exposed so callers
+// can explain a refusal without triggering materialization.
+func (w *Workload) HasDenseRows() bool { return w.mat != nil }
