@@ -7,6 +7,7 @@ import (
 
 	"adaptivemm/internal/mm"
 	"adaptivemm/internal/planner"
+	"adaptivemm/internal/planstore"
 	"adaptivemm/internal/wio"
 )
 
@@ -36,6 +37,12 @@ type planBenchResult struct {
 	// MonolithicGenerator names the generator the non-sharded re-plan
 	// chose.
 	MonolithicGenerator string `json:"monolithicGenerator,omitempty"`
+	// WarmLoadSeconds is how long rehydrating the same plan from a
+	// serialized plan-store entry takes — the restart cost the plan store
+	// pays instead of DesignSeconds.
+	WarmLoadSeconds float64 `json:"warmLoadSeconds,omitempty"`
+	// PlanBytes is the serialized entry size.
+	PlanBytes int `json:"planBytes,omitempty"`
 }
 
 // planBenchSuite is the default spec set for -planbench all: one per
@@ -96,6 +103,20 @@ func runPlanBench(spec string, outPath string) error {
 			ExpectedError: expected,
 			Shards:        len(plan.Shards),
 		}
+
+		// Cold design vs warm load: serialize the plan as a store entry and
+		// time the rehydration a restarted server would run instead of the
+		// design above.
+		blob, _, err := planstore.EncodeEntry(planstore.CanonicalKey(sp, 1, hints.Fingerprint()), plan, time.Now())
+		if err != nil {
+			return fmt.Errorf("planbench %s: encoding plan: %v", sp, err)
+		}
+		start = time.Now()
+		if _, _, err := planstore.DecodeEntry(blob); err != nil {
+			return fmt.Errorf("planbench %s: rehydrating plan: %v", sp, err)
+		}
+		res.WarmLoadSeconds = time.Since(start).Seconds()
+		res.PlanBytes = len(blob)
 		if len(plan.Shards) > 0 {
 			// Record the monolithic counterfactual next to the sharded run:
 			// the same spec planned with sharding disabled, on a fresh
@@ -117,6 +138,8 @@ func runPlanBench(spec string, outPath string) error {
 		}
 		fmt.Printf("plan bench: %-18s → %-17s select %.1fµs, design %.3fs (modeled %.3g), %s\n",
 			sp, plan.Generator, selectMicros, designSeconds, plan.ModeledCost, errNote)
+		fmt.Printf("            %-18s   warm load %.4fs from %d-byte entry (cold design %.3fs)\n",
+			"", res.WarmLoadSeconds, res.PlanBytes, designSeconds)
 		if res.Shards > 0 {
 			fmt.Printf("            %-18s   sharded ×%d vs monolithic %s: design %.3fs vs %.3fs\n",
 				"", res.Shards, res.MonolithicGenerator, designSeconds, res.MonolithicDesignSeconds)

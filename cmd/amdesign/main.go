@@ -22,6 +22,15 @@
 // expected error within the design budget; -generator forces one, and
 // -max-design-ms / -latency-ms tighten the budget. -explain prints every
 // candidate's admission outcome.
+//
+// Plans can be persisted and shipped: -save writes the designed plan as a
+// plan-store entry (drop the file into an amserve -store directory and a
+// server designing the same spec serves it from cache), and -load
+// rehydrates a saved plan instead of designing, for offline inspection or
+// release.
+//
+//	amdesign -workload allrange:64x64 -save allrange64.plan
+//	amdesign -load allrange64.plan -data counts.csv
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
 	"adaptivemm/internal/planner"
+	"adaptivemm/internal/planstore"
 	"adaptivemm/internal/wio"
 	"adaptivemm/internal/workload"
 )
@@ -56,17 +66,42 @@ func main() {
 		maxDesignMS = flag.Int64("max-design-ms", 0, "design-time budget in milliseconds (0 = planner default)")
 		latencyMS   = flag.Int64("latency-ms", 0, "per-release latency target in milliseconds")
 		explain     = flag.Bool("explain", false, "print every generator's admission outcome")
+		savePath    = flag.String("save", "", "write the designed plan to this file (plan-store entry; ship it into an amserve -store directory)")
+		loadPath    = flag.String("load", "", "load a saved plan instead of designing (workload flags must be absent)")
 	)
 	flag.Parse()
 
 	r := rand.New(rand.NewSource(*seed))
-	w, err := loadWorkload(*spec, *csvPath, *shapeStr, r)
-	if err != nil {
-		fail(err)
-	}
 	p := mm.Privacy{Epsilon: *eps, Delta: *delta}
 	if err := p.Validate(); err != nil {
 		fail(err)
+	}
+
+	var w *workload.Workload
+	var plan *planner.Plan
+	if *loadPath != "" {
+		if *spec != "" || *csvPath != "" {
+			fail(fmt.Errorf("amdesign: -load rehydrates a saved plan; drop -workload/-workload-csv"))
+		}
+		if *savePath != "" {
+			fail(fmt.Errorf("amdesign: -save and -load together would only copy the file"))
+		}
+		blob, err := os.ReadFile(*loadPath)
+		if err != nil {
+			fail(err)
+		}
+		var meta planstore.Meta
+		if plan, meta, err = planstore.DecodeEntry(blob); err != nil {
+			fail(fmt.Errorf("amdesign: %s: %w", *loadPath, err))
+		}
+		w = plan.Workload
+		fmt.Printf("loaded plan:     %s (key %s, saved %s by %s)\n",
+			*loadPath, meta.Key, meta.SavedAt.Format(time.RFC3339), meta.LibVersion)
+	} else {
+		var err error
+		if w, err = loadWorkload(*spec, *csvPath, *shapeStr, r); err != nil {
+			fail(err)
+		}
 	}
 
 	// Every entry point plans through the same pipeline the library API
@@ -87,10 +122,30 @@ func main() {
 		hints.Generator = "principal-vectors"
 		hints.PrincipalK = *principal
 	}
-	pl := planner.New(planner.Config{})
-	plan, err := pl.Plan(w, hints)
-	if err != nil {
-		fail(err)
+	if plan == nil {
+		pl := planner.New(planner.Config{})
+		var err error
+		if plan, err = pl.Plan(w, hints); err != nil {
+			fail(err)
+		}
+	}
+
+	if *savePath != "" {
+		// Spec-described workloads get the canonical server cache key, so a
+		// shipped plan is found by /design of the same spec; CSV workloads
+		// get a file-scoped key (loadable, but never a spec cache hit).
+		key := planstore.CanonicalKey(*spec, *seed, hints.Fingerprint())
+		if *spec == "" {
+			key = "file:" + *csvPath + "|" + hints.Fingerprint()
+		}
+		blob, _, err := planstore.EncodeEntry(key, plan, time.Now())
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*savePath, blob, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("plan saved to %s (%d bytes, key %s)\n", *savePath, len(blob), key)
 	}
 
 	fmt.Printf("workload:        %s (%d queries, %d cells)\n", w.Name(), w.NumQueries(), w.Cells())

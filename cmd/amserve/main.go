@@ -10,7 +10,18 @@
 // lets the requester subtract the noise and recover the exact data);
 // -allow-seeded-releases re-enables them on single-user debug servers.
 //
-//	amserve -addr :8080
+// With -store the server persists designed plans to a durable plan store
+// and rehydrates its strategy cache (and the planner's design-throughput
+// calibration) from it on startup, so a restart serves previously
+// designed workloads from cache instead of re-designing them. GET /plans
+// lists the stored plans; DELETE /plans/{id} withdraws one from future
+// restarts. Plans designed offline with amdesign -save can be dropped
+// into the store directory.
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight releases are
+// drained and the plan-store write-behind queue is flushed before exit.
+//
+//	amserve -addr :8080 -store /var/lib/amserve/plans
 //	curl -X POST localhost:8080/design   -d '{"workload":"allrange:8x16"}'
 //	curl -X POST localhost:8080/datasets -d '{"name":"db","histogram":[...],
 //	     "cap":{"epsilon":2,"delta":1e-3}}'
@@ -22,27 +33,76 @@
 //	     "parallelism":8}'
 //	curl localhost:8080/datasets         # cells, cap, spent, remaining
 //	curl localhost:8080/ledger           # committed spend per dataset
+//	curl localhost:8080/plans            # durable plan-store entries
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"adaptivemm/internal/server"
 )
 
+// shutdownGrace bounds how long a draining server waits for in-flight
+// releases before exiting anyway.
+const shutdownGrace = 30 * time.Second
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "",
+		"plan-store directory: persist designed plans and rehydrate the strategy cache on startup (empty = memory only)")
 	allowSeeded := flag.Bool("allow-seeded-releases", false,
 		"DEBUG ONLY: honor client-pinned noise seeds on registered datasets (lets the requester reconstruct the noise and defeat the privacy budget)")
 	flag.Parse()
-	srv := server.NewWithOptions(server.Options{AllowSeededReleases: *allowSeeded})
+
+	srv, err := server.Open(server.Options{
+		AllowSeededReleases: *allowSeeded,
+		StoreDir:            *storeDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *allowSeeded {
 		log.Printf("WARNING: seeded releases enabled; registered-dataset privacy budgets are NOT enforceable against the seeding client")
 	}
-	log.Printf("amserve listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatal(err)
+	if *storeDir != "" {
+		log.Printf("amserve plan store at %s", *storeDir)
 	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("amserve listening on %s", *addr)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		// Listener failed outright; still flush whatever was queued.
+		srv.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("amserve shutting down: draining in-flight releases (up to %s)", shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("amserve: shutdown: %v", err)
+	}
+	// In-flight requests are done (or timed out): flush the plan-store
+	// write-behind queue and the calibration snapshot.
+	if err := srv.Close(); err != nil {
+		log.Printf("amserve: closing plan store: %v", err)
+	}
+	log.Printf("amserve stopped")
 }

@@ -1,0 +1,219 @@
+// Package binenc holds the binary-encoding primitives shared by the
+// operator codec (internal/linalg) and the plan codec
+// (internal/planstore): uvarint-framed integers, IEEE-754 floats, and a
+// bounds-checked reader whose every length is validated against the
+// bytes actually remaining, so corrupt or crafted input yields an error
+// — never a panic or an absurd allocation.
+package binenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// --- writers (append to a bytes.Buffer) ---
+
+// PutUvarint appends v as a uvarint.
+func PutUvarint(w *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	w.Write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+// PutInt appends a non-negative int as a uvarint.
+func PutInt(w *bytes.Buffer, v int) { PutUvarint(w, uint64(v)) }
+
+// PutU64 appends v as 8 little-endian bytes.
+func PutU64(w *bytes.Buffer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.Write(buf[:])
+}
+
+// PutFloat appends the IEEE-754 bits of f.
+func PutFloat(w *bytes.Buffer, f float64) { PutU64(w, math.Float64bits(f)) }
+
+// PutFloats appends a length-prefixed float slice.
+func PutFloats(w *bytes.Buffer, fs []float64) {
+	PutInt(w, len(fs))
+	for _, f := range fs {
+		PutFloat(w, f)
+	}
+}
+
+// PutInts appends a length-prefixed int slice.
+func PutInts(w *bytes.Buffer, is []int) {
+	PutInt(w, len(is))
+	for _, v := range is {
+		PutInt(w, v)
+	}
+}
+
+// PutString appends a length-prefixed string.
+func PutString(w *bytes.Buffer, s string) {
+	PutInt(w, len(s))
+	w.WriteString(s)
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func PutBytes(w *bytes.Buffer, b []byte) {
+	PutInt(w, len(b))
+	w.Write(b)
+}
+
+// PutBool appends one 0/1 byte.
+func PutBool(w *bytes.Buffer, b bool) {
+	if b {
+		w.WriteByte(1)
+	} else {
+		w.WriteByte(0)
+	}
+}
+
+// --- bounds-checked reader ---
+
+// Reader is a cursor over an in-memory record. Length prefixes are
+// always validated against the bytes remaining *after* the prefix itself
+// is consumed, so a crafted length can neither slice out of bounds nor
+// trigger a huge allocation.
+type Reader struct {
+	b  []byte
+	at int
+}
+
+// NewReader returns a reader over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Remaining returns how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.b) - r.at }
+
+// Byte reads one byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.at >= len(r.b) {
+		return 0, fmt.Errorf("binenc: record truncated")
+	}
+	v := r.b[r.at]
+	r.at++
+	return v, nil
+}
+
+// Bool reads one byte as a bool (nonzero = true).
+func (r *Reader) Bool() (bool, error) {
+	v, err := r.Byte()
+	return v != 0, err
+}
+
+// Uvarint reads one uvarint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.at:])
+	if n <= 0 {
+		return 0, fmt.Errorf("binenc: record truncated (bad varint)")
+	}
+	r.at += n
+	return v, nil
+}
+
+// IntBounded reads a non-negative int and refuses values above max (a
+// non-positive max refuses everything but zero).
+func (r *Reader) IntBounded(max int, what string) (int, error) {
+	v, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if max < 0 {
+		max = 0
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("binenc: %s %d exceeds limit %d", what, v, max)
+	}
+	return int(v), nil
+}
+
+// U64 reads 8 little-endian bytes.
+func (r *Reader) U64() (uint64, error) {
+	if r.Remaining() < 8 {
+		return 0, fmt.Errorf("binenc: record truncated (u64)")
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.at:])
+	r.at += 8
+	return v, nil
+}
+
+// Float reads one IEEE-754 float.
+func (r *Reader) Float() (float64, error) {
+	v, err := r.U64()
+	return math.Float64frombits(v), err
+}
+
+// String reads a length-prefixed string. The length is checked against
+// the bytes remaining after the prefix.
+func (r *Reader) String() (string, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Remaining()) {
+		return "", fmt.Errorf("binenc: string length %d exceeds the %d bytes remaining", n, r.Remaining())
+	}
+	s := string(r.b[r.at : r.at+int(n)])
+	r.at += int(n)
+	return s, nil
+}
+
+// Bytes reads a length-prefixed byte slice (a view into the record, not
+// a copy).
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("binenc: blob length %d exceeds the %d bytes remaining", n, r.Remaining())
+	}
+	b := r.b[r.at : r.at+int(n)]
+	r.at += int(n)
+	return b, nil
+}
+
+// Ints reads a length-prefixed int slice. Elements are capped at 2³¹−1.
+func (r *Reader) Ints() ([]int, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each element is at least one byte on the wire.
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("binenc: int-slice length %d exceeds the %d bytes remaining", n, r.Remaining())
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("binenc: int value %d out of range", v)
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// Floats reads a length-prefixed float slice.
+func (r *Reader) Floats() ([]float64, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()/8) {
+		return nil, fmt.Errorf("binenc: float-slice length %d exceeds the %d bytes remaining", n, r.Remaining())
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = r.Float(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,433 @@
+// Operator codec: a self-describing binary serialization for every
+// operator kind in the package, so strategies designed once can be
+// persisted and rehydrated byte-exactly across process restarts (the plan
+// store in internal/planstore builds on it).
+//
+// Wire format. MarshalOperator frames the record as
+//
+//	magic "AMO1" | payload | crc32c(payload)
+//
+// and UnmarshalOperator refuses frames whose magic or checksum does not
+// match — a truncated or bit-flipped file is reported as corrupt, never
+// decoded into a wrong operator. Inside the payload each operator is one
+// tagged record: a kind byte followed by kind-specific fields (uvarint
+// integers, IEEE-754 bits for floats, length-prefixed slices). Composite
+// kinds (Kronecker, Stack, BlockDiag, Compose, the wrappers) nest their
+// children recursively; nesting depth is bounded so a hostile file cannot
+// overflow the stack.
+//
+// Every decoded record is validated structurally (dimensions must chain,
+// indices must be in range, CSR row pointers must be monotone) before an
+// operator is constructed, so Decode returns errors where the package
+// constructors would panic.
+
+package linalg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"adaptivemm/internal/binenc"
+)
+
+// operatorMagic frames a marshalled operator record.
+const operatorMagic = "AMO1"
+
+// maxCodecDepth bounds operator nesting during encode and decode. Real
+// strategies nest a handful of levels (Normed → Compose → BlockDiag →
+// Kron → Sparse); 64 leaves room without risking decode-time stack
+// exhaustion on crafted input.
+const maxCodecDepth = 64
+
+// Operator kind tags. The values are part of the wire format: never
+// reorder or reuse them, only append.
+const (
+	opKindDense       = 1
+	opKindIdentity    = 2
+	opKindPrefix      = 3
+	opKindIntervals   = 4
+	opKindSparse      = 5
+	opKindKron        = 6
+	opKindStack       = 7
+	opKindScaled      = 8
+	opKindRowScaled   = 9
+	opKindRowPermuted = 10
+	opKindNormed      = 11
+	opKindBlockDiag   = 12
+	opKindComposed    = 13
+)
+
+var codecCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// MarshalOperator serializes an operator (any kind in this package) into
+// a checksummed, self-describing binary frame.
+func MarshalOperator(op Operator) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := encodeOperator(&payload, op, 0); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(operatorMagic)+payload.Len()+4)
+	out = append(out, operatorMagic...)
+	out = append(out, payload.Bytes()...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload.Bytes(), codecCRC))
+	return out, nil
+}
+
+// UnmarshalOperator decodes a frame produced by MarshalOperator,
+// verifying the magic and the integrity checksum before touching the
+// payload.
+func UnmarshalOperator(b []byte) (Operator, error) {
+	if len(b) < len(operatorMagic)+4 {
+		return nil, fmt.Errorf("linalg: operator frame truncated (%d bytes)", len(b))
+	}
+	if string(b[:len(operatorMagic)]) != operatorMagic {
+		return nil, fmt.Errorf("linalg: bad operator magic %q", b[:len(operatorMagic)])
+	}
+	payload := b[len(operatorMagic) : len(b)-4]
+	want := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.Checksum(payload, codecCRC); got != want {
+		return nil, fmt.Errorf("linalg: operator checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	r := binenc.NewReader(payload)
+	op, err := decodeOperator(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("linalg: %d trailing bytes after operator record", r.Remaining())
+	}
+	return op, nil
+}
+
+// --- encoding ---
+
+// The primitive writers and the bounds-checked reader are shared with
+// the plan codec in internal/planstore; see internal/binenc.
+
+func encodeOperator(w *bytes.Buffer, op Operator, depth int) error {
+	if depth > maxCodecDepth {
+		return fmt.Errorf("linalg: operator nesting exceeds depth %d", maxCodecDepth)
+	}
+	switch o := op.(type) {
+	case *Matrix:
+		w.WriteByte(opKindDense)
+		binenc.PutInt(w, o.rows)
+		binenc.PutInt(w, o.cols)
+		for _, v := range o.data {
+			binenc.PutFloat(w, v)
+		}
+	case *IdentityOp:
+		w.WriteByte(opKindIdentity)
+		binenc.PutInt(w, o.n)
+	case *PrefixOp:
+		w.WriteByte(opKindPrefix)
+		binenc.PutInt(w, o.n)
+	case *IntervalsOp:
+		w.WriteByte(opKindIntervals)
+		binenc.PutInt(w, o.d)
+	case *Sparse:
+		w.WriteByte(opKindSparse)
+		binenc.PutInt(w, o.rows)
+		binenc.PutInt(w, o.cols)
+		binenc.PutInts(w, o.rowPtr)
+		binenc.PutInts(w, o.colIdx)
+		binenc.PutFloats(w, o.val)
+	case *KronOp:
+		w.WriteByte(opKindKron)
+		binenc.PutInt(w, len(o.factors))
+		for _, f := range o.factors {
+			if err := encodeOperator(w, f, depth+1); err != nil {
+				return err
+			}
+		}
+	case *StackOp:
+		w.WriteByte(opKindStack)
+		binenc.PutInt(w, len(o.parts))
+		for _, p := range o.parts {
+			if err := encodeOperator(w, p, depth+1); err != nil {
+				return err
+			}
+		}
+	case *ScaledOp:
+		w.WriteByte(opKindScaled)
+		binenc.PutFloat(w, o.s)
+		return encodeOperator(w, o.base, depth+1)
+	case *RowScaledOp:
+		w.WriteByte(opKindRowScaled)
+		binenc.PutFloats(w, o.scale)
+		return encodeOperator(w, o.base, depth+1)
+	case *RowPermutedOp:
+		w.WriteByte(opKindRowPermuted)
+		binenc.PutInts(w, o.perm)
+		return encodeOperator(w, o.base, depth+1)
+	case *NormedOp:
+		w.WriteByte(opKindNormed)
+		hasCN2 := byte(0)
+		if o.cn2 != nil {
+			hasCN2 = 1
+		}
+		hasCN1 := byte(0)
+		if o.cn1 != nil {
+			hasCN1 = 1
+		}
+		w.WriteByte(hasCN2)
+		if o.cn2 != nil {
+			binenc.PutFloats(w, o.cn2)
+		}
+		w.WriteByte(hasCN1)
+		if o.cn1 != nil {
+			binenc.PutFloats(w, o.cn1)
+		}
+		return encodeOperator(w, o.Operator, depth+1)
+	case *BlockDiagOp:
+		w.WriteByte(opKindBlockDiag)
+		binenc.PutInt(w, len(o.parts))
+		for _, p := range o.parts {
+			if err := encodeOperator(w, p, depth+1); err != nil {
+				return err
+			}
+		}
+	case *ComposedOp:
+		w.WriteByte(opKindComposed)
+		if err := encodeOperator(w, o.outer, depth+1); err != nil {
+			return err
+		}
+		return encodeOperator(w, o.inner, depth+1)
+	default:
+		return fmt.Errorf("linalg: cannot serialize operator type %T", op)
+	}
+	return nil
+}
+
+// --- decoding ---
+
+// maxCodecDim bounds any single decoded dimension; it exists only to keep
+// rows*cols arithmetic from overflowing, not as a size policy.
+const maxCodecDim = math.MaxInt32
+
+func decodeOperator(r *binenc.Reader, depth int) (Operator, error) {
+	if depth > maxCodecDepth {
+		return nil, fmt.Errorf("linalg: operator nesting exceeds depth %d", maxCodecDepth)
+	}
+	kind, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case opKindDense:
+		rows, err := r.IntBounded(maxCodecDim, "dense rows")
+		if err != nil {
+			return nil, err
+		}
+		cols, err := r.IntBounded(maxCodecDim, "dense cols")
+		if err != nil {
+			return nil, err
+		}
+		if cols != 0 && rows > r.Remaining()/8/cols {
+			return nil, fmt.Errorf("linalg: dense payload truncated (%dx%d)", rows, cols)
+		}
+		data := make([]float64, rows*cols)
+		for i := range data {
+			if data[i], err = r.Float(); err != nil {
+				return nil, err
+			}
+		}
+		return NewFromData(rows, cols, data), nil
+	case opKindIdentity:
+		n, err := r.IntBounded(maxCodecDim, "identity size")
+		if err != nil {
+			return nil, err
+		}
+		return Eye(n), nil
+	case opKindPrefix:
+		n, err := r.IntBounded(maxCodecDim, "prefix size")
+		if err != nil {
+			return nil, err
+		}
+		return NewPrefixOp(n), nil
+	case opKindIntervals:
+		d, err := r.IntBounded(maxCodecDim, "intervals size")
+		if err != nil {
+			return nil, err
+		}
+		return NewIntervalsOp(d), nil
+	case opKindSparse:
+		return decodeSparse(r)
+	case opKindKron:
+		parts, err := decodeParts(r, depth, "Kronecker")
+		if err != nil {
+			return nil, err
+		}
+		return NewKronOp(parts...), nil
+	case opKindStack:
+		parts, err := decodeParts(r, depth, "stack")
+		if err != nil {
+			return nil, err
+		}
+		cols := parts[0].Cols()
+		for i, p := range parts {
+			if p.Cols() != cols {
+				return nil, fmt.Errorf("linalg: stack part %d has %d cols, part 0 has %d", i, p.Cols(), cols)
+			}
+		}
+		return StackOps(parts...), nil
+	case opKindScaled:
+		s, err := r.Float()
+		if err != nil {
+			return nil, err
+		}
+		base, err := decodeOperator(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return ScaleOp(base, s), nil
+	case opKindRowScaled:
+		scale, err := r.Floats()
+		if err != nil {
+			return nil, err
+		}
+		base, err := decodeOperator(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if len(scale) != base.Rows() {
+			return nil, fmt.Errorf("linalg: row-scale length %d for %d rows", len(scale), base.Rows())
+		}
+		return ScaleRows(base, scale), nil
+	case opKindRowPermuted:
+		perm, err := r.Ints()
+		if err != nil {
+			return nil, err
+		}
+		base, err := decodeOperator(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range perm {
+			if p < 0 || p >= base.Rows() {
+				return nil, fmt.Errorf("linalg: permuted row index %d out of %d rows", p, base.Rows())
+			}
+		}
+		return PermuteRows(base, perm), nil
+	case opKindNormed:
+		return decodeNormed(r, depth)
+	case opKindBlockDiag:
+		parts, err := decodeParts(r, depth, "block-diagonal")
+		if err != nil {
+			return nil, err
+		}
+		return BlockDiag(parts...), nil
+	case opKindComposed:
+		outer, err := decodeOperator(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := decodeOperator(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if outer.Cols() != inner.Rows() {
+			return nil, fmt.Errorf("linalg: composed operators do not chain (outer %dx%d, inner %dx%d)",
+				outer.Rows(), outer.Cols(), inner.Rows(), inner.Cols())
+		}
+		return ComposeOps(outer, inner), nil
+	default:
+		return nil, fmt.Errorf("linalg: unknown operator kind %d", kind)
+	}
+}
+
+func decodeParts(r *binenc.Reader, depth int, what string) ([]Operator, error) {
+	// Each part record is ≥1 byte, so the remaining payload bounds the count.
+	count, err := r.IntBounded(r.Remaining(), what+" part count")
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("linalg: %s of zero parts", what)
+	}
+	parts := make([]Operator, count)
+	for i := range parts {
+		if parts[i], err = decodeOperator(r, depth+1); err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+func decodeNormed(r *binenc.Reader, depth int) (Operator, error) {
+	var cn2, cn1 []float64
+	has, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if has == 1 {
+		if cn2, err = r.Floats(); err != nil {
+			return nil, err
+		}
+	}
+	if has, err = r.Byte(); err != nil {
+		return nil, err
+	}
+	if has == 1 {
+		if cn1, err = r.Floats(); err != nil {
+			return nil, err
+		}
+	}
+	base, err := decodeOperator(r, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	if cn2 != nil && len(cn2) != base.Cols() {
+		return nil, fmt.Errorf("linalg: attached col-norms² have %d entries for %d cols", len(cn2), base.Cols())
+	}
+	if cn1 != nil && len(cn1) != base.Cols() {
+		return nil, fmt.Errorf("linalg: attached L1 col norms have %d entries for %d cols", len(cn1), base.Cols())
+	}
+	return WithColNorms(base, cn2, cn1), nil
+}
+
+func decodeSparse(r *binenc.Reader) (Operator, error) {
+	rows, err := r.IntBounded(maxCodecDim, "sparse rows")
+	if err != nil {
+		return nil, err
+	}
+	cols, err := r.IntBounded(maxCodecDim, "sparse cols")
+	if err != nil {
+		return nil, err
+	}
+	rowPtr, err := r.Ints()
+	if err != nil {
+		return nil, err
+	}
+	colIdx, err := r.Ints()
+	if err != nil {
+		return nil, err
+	}
+	val, err := r.Floats()
+	if err != nil {
+		return nil, err
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("linalg: sparse rowPtr has %d entries for %d rows", len(rowPtr), rows)
+	}
+	if len(colIdx) != len(val) {
+		return nil, fmt.Errorf("linalg: sparse has %d column indices for %d values", len(colIdx), len(val))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != len(val) {
+		return nil, fmt.Errorf("linalg: sparse rowPtr does not span the %d stored values", len(val))
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("linalg: sparse rowPtr decreases at row %d", i)
+		}
+	}
+	for _, c := range colIdx {
+		if c < 0 || c >= cols {
+			return nil, fmt.Errorf("linalg: sparse column index %d out of %d", c, cols)
+		}
+	}
+	return &Sparse{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
+}

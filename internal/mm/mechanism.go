@@ -146,6 +146,56 @@ func NewMechanismInference(a linalg.Operator, inf Inference) (*Mechanism, error)
 	return m, nil
 }
 
+// NewMechanismPrepared rebuilds a mechanism from persisted artifacts: a
+// strategy operator, its resolved inference method, and — when the
+// method precomputes one — the pseudo-inverse or Gram matrix saved from
+// the original mechanism. Supplying the artifact skips the O(n³)
+// preparation that NewMechanismInference would redo, which is the whole
+// point of rehydrating a plan instead of re-designing it; a nil artifact
+// falls back to recomputation. Artifacts with the wrong shape are
+// refused: a stale pseudo-inverse would silently corrupt every release.
+func NewMechanismPrepared(a linalg.Operator, inf Inference, pinv, gram *linalg.Matrix) (*Mechanism, error) {
+	switch inf {
+	case InferDensePinv:
+		if pinv == nil {
+			return NewMechanismInference(a, inf)
+		}
+		if pinv.Rows() != a.Cols() || pinv.Cols() != a.Rows() {
+			return nil, fmt.Errorf("mm: persisted pseudo-inverse is %dx%d for a %dx%d strategy",
+				pinv.Rows(), pinv.Cols(), a.Rows(), a.Cols())
+		}
+		m := &Mechanism{a: a, sensL2: linalg.MaxColNorm2Op(a), apinv: pinv, inference: inf}
+		if d, ok := a.(*linalg.Matrix); ok {
+			m.dense = d
+		}
+		return m, nil
+	case InferNormalCG:
+		if gram == nil {
+			return NewMechanismInference(a, inf)
+		}
+		if gram.Rows() != a.Cols() || gram.Cols() != a.Cols() {
+			return nil, fmt.Errorf("mm: persisted Gram is %dx%d for a strategy with %d cells",
+				gram.Rows(), gram.Cols(), a.Cols())
+		}
+		m := &Mechanism{a: a, sensL2: linalg.MaxColNorm2Op(a), gram: gram, inference: inf}
+		if d, ok := a.(*linalg.Matrix); ok {
+			m.dense = d
+		}
+		return m, nil
+	default:
+		return NewMechanismInference(a, inf)
+	}
+}
+
+// PreparedPinv returns the precomputed dense pseudo-inverse backing
+// InferDensePinv, or nil — the artifact the plan store persists so a
+// rehydrated mechanism skips the O(n³) preparation.
+func (m *Mechanism) PreparedPinv() *linalg.Matrix { return m.apinv }
+
+// PreparedGram returns the precomputed dense Gram backing InferNormalCG,
+// or nil.
+func (m *Mechanism) PreparedGram() *linalg.Matrix { return m.gram }
+
 // Inference returns the resolved inference method.
 func (m *Mechanism) Inference() Inference { return m.inference }
 

@@ -147,11 +147,15 @@ type Hints struct {
 // Fingerprint returns the canonical encoding of every hint that affects
 // generator choice — the cache-key suffix. Privacy is excluded: it scales
 // all candidates' errors by the same factor and never changes the winner
-// (per-pair error analyses are memoized on the Plan instead).
+// (per-pair error analyses are memoized on the Plan instead). AnalysisCap
+// is excluded too: it only bounds how large a domain gets the eager error
+// analysis, never which generator wins — and keeping it out lets a plan
+// saved offline (amdesign -save, analysis cap 2048) land in the cache
+// slot a server (analysis cap 512) looks up for the same spec.
 func (h Hints) Fingerprint() string {
-	return fmt.Sprintf("v2|c=%g|t=%d|lat=%d|sz=%d|gen=%s|g=%d|k=%d|b=%d|fo=%t|ac=%d|ms=%d",
+	return fmt.Sprintf("v3|c=%g|t=%d|lat=%d|sz=%d|gen=%s|g=%d|k=%d|b=%d|fo=%t|ms=%d",
 		h.MaxDesignCost, int64(h.MaxDesignTime), int64(h.LatencyTarget), h.Size,
-		h.Generator, h.GroupSize, h.PrincipalK, h.Branch, h.FirstOrder, h.AnalysisCap, h.MaxShards)
+		h.Generator, h.GroupSize, h.PrincipalK, h.Branch, h.FirstOrder, h.MaxShards)
 }
 
 // sizeClass returns the effective class: derived from the cell count,
@@ -406,13 +410,24 @@ type Config struct {
 type Planner struct {
 	mu   sync.Mutex
 	gens []Generator
-	rate float64 // EWMA work units per second
-	pc   *planCache
+	// rate is the global EWMA of work units per second, the fallback for
+	// generators with no measured history of their own.
+	rate float64
+	// rates calibrates the throughput per generator: the cost models of
+	// different families measure different work (an eigendecomposition's
+	// work unit is not a weighting solve's), so MaxDesignTime budgets are
+	// converted with the rate of the generator being admitted.
+	rates map[string]float64
+	// builds counts strategy builds actually executed (successful or
+	// failed), as opposed to plans served from the cache or rehydrated
+	// from a store. Restart tests assert it stays zero on a warm server.
+	builds int64
+	pc     *planCache
 }
 
 // New returns a planner with the default generator registry.
 func New(cfg Config) *Planner {
-	p := &Planner{rate: DefaultUnitsPerSecond}
+	p := &Planner{rate: DefaultUnitsPerSecond, rates: map[string]float64{}}
 	if cfg.CacheSize > 0 {
 		p.pc = newPlanCache(cfg.CacheSize)
 	}
@@ -453,15 +468,80 @@ func (p *Planner) currentRate() float64 {
 	return p.rate
 }
 
+// rateFor returns the measured throughput for one generator, falling back
+// to the global rate while the generator has no history.
+func (p *Planner) rateFor(gen string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.rates[gen]; ok {
+		return r
+	}
+	return p.rate
+}
+
+// RateSnapshot returns the calibrated design-throughput state: one entry
+// per generator with measured history, plus the global fallback rate
+// under the empty key. The snapshot is what the plan store persists so a
+// restarted server budgets MaxDesignTime hints from measured history
+// instead of the cold default.
+func (p *Planner) RateSnapshot() map[string]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]float64, len(p.rates)+1)
+	for g, r := range p.rates {
+		out[g] = r
+	}
+	out[""] = p.rate
+	return out
+}
+
+// RestoreRates folds a persisted snapshot back into the calibration:
+// the empty key restores the global rate, other keys their generator's.
+// Non-positive or absurd rates are clamped like measured ones.
+func (p *Planner) RestoreRates(rates map[string]float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for g, r := range rates {
+		r = clampRate(r)
+		if g == "" {
+			p.rate = r
+		} else {
+			p.rates[g] = r
+		}
+	}
+}
+
+// Builds returns how many strategy builds this planner has executed
+// (cache hits and rehydrated plans do not count).
+func (p *Planner) Builds() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.builds
+}
+
+func clampRate(r float64) float64 {
+	// The negated comparison also catches NaN (from a corrupt persisted
+	// snapshot): a NaN rate would turn every budget check into a no-op.
+	if !(r >= 1e6) {
+		return 1e6
+	}
+	if r > 1e13 {
+		return 1e13
+	}
+	return r
+}
+
 // minCalibrationCost is the smallest modeled cost a build must have to
 // feed the throughput estimate: trivial builds (identity, hierarchical)
 // measure timer noise, not compute throughput, and would drag the rate
 // orders of magnitude off.
 const minCalibrationCost = 1e7
 
-// observeRate folds one measured build into the throughput estimate used
-// to convert MaxDesignTime hints into cost budgets.
-func (p *Planner) observeRate(cost float64, elapsed time.Duration) {
+// observeRate folds one measured build into the throughput estimates used
+// to convert MaxDesignTime hints into cost budgets: the winning
+// generator's own rate (seeded from the global rate on its first
+// measurement) and the global fallback.
+func (p *Planner) observeRate(gen string, cost float64, elapsed time.Duration) {
 	secs := elapsed.Seconds()
 	if secs <= 0 || cost < minCalibrationCost {
 		return
@@ -469,21 +549,22 @@ func (p *Planner) observeRate(cost float64, elapsed time.Duration) {
 	observed := cost / secs
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	r := 0.75*p.rate + 0.25*observed
-	if r < 1e6 {
-		r = 1e6
+	prev, ok := p.rates[gen]
+	if !ok {
+		prev = p.rate
 	}
-	if r > 1e13 {
-		r = 1e13
-	}
-	p.rate = r
+	p.rates[gen] = clampRate(0.75*prev + 0.25*observed)
+	p.rate = clampRate(0.75*p.rate + 0.25*observed)
 }
 
-// budget resolves the hints into one cost bound.
-func (p *Planner) budget(h Hints) float64 {
+// budgetFor resolves the hints into one cost bound for a named generator:
+// a MaxDesignTime hint converts to work units at that generator's own
+// measured throughput (per-generator cost models measure different work,
+// so one global rate would misbudget the others).
+func (p *Planner) budgetFor(h Hints, gen string) float64 {
 	b := h.MaxDesignCost
 	if h.MaxDesignTime > 0 {
-		tb := h.MaxDesignTime.Seconds() * p.currentRate()
+		tb := h.MaxDesignTime.Seconds() * p.rateFor(gen)
 		if b == 0 || tb < b {
 			b = tb
 		}
@@ -523,7 +604,6 @@ func (p *Planner) propose(w *workload.Workload, h Hints) ([]scoredCand, []Decisi
 		return nil, nil, fmt.Errorf("planner: unknown generator %q (registered: %s)", h.Generator, strings.Join(p.Generators(), ", "))
 	}
 
-	budget := p.budget(h)
 	decisions := make([]Decision, 0, len(gens))
 	var admitted []scoredCand
 	var cheapest *scoredCand
@@ -540,7 +620,9 @@ func (p *Planner) propose(w *workload.Workload, h Hints) ([]scoredCand, []Decisi
 			cc := c
 			cheapest = &cc
 		}
-		if prop.Cost > budget {
+		// Each generator is budgeted at its own measured throughput:
+		// MaxDesignTime converts to a different work-unit bound per family.
+		if budget := p.budgetFor(h, g.Name()); prop.Cost > budget {
 			decisions[di].Reason = refuse("budget", "modeled cost %.3g exceeds the design budget %.3g", prop.Cost, budget)
 			continue
 		}
@@ -555,7 +637,8 @@ func (p *Planner) propose(w *workload.Workload, h Hints) ([]scoredCand, []Decisi
 		// rather than fail — a plan that is late beats no plan.
 		decisions[cheapest.di].Admitted = true
 		decisions[cheapest.di].Reason = fmt.Sprintf(
-			"over the design budget %.3g like every candidate; selected as the cheapest escape (modeled cost %.3g)", budget, cheapest.prop.Cost)
+			"over the design budget %.3g like every candidate; selected as the cheapest escape (modeled cost %.3g)",
+			p.budgetFor(h, cheapest.gen.Name()), cheapest.prop.Cost)
 		admitted = []scoredCand{*cheapest}
 	}
 	sort.SliceStable(admitted, func(i, j int) bool {
@@ -604,6 +687,9 @@ func (p *Planner) Plan(w *workload.Workload, h Hints) (*Plan, error) {
 		// Time each build separately: a failed candidate's wasted time
 		// must not pollute the winner's reported design time or the
 		// throughput calibration.
+		p.mu.Lock()
+		p.builds++
+		p.mu.Unlock()
 		start := time.Now()
 		b, err := c.prop.Build()
 		if err != nil {
@@ -624,7 +710,7 @@ func (p *Planner) Plan(w *workload.Workload, h Hints) (*Plan, error) {
 		// own Plan call already calibrated the rate; folding the summed
 		// cost over the parallel wall-clock would double-count the work
 		// and inflate the throughput by up to the core count.
-		p.observeRate(win.prop.Cost, elapsed)
+		p.observeRate(win.gen.Name(), win.prop.Cost, elapsed)
 	}
 	decisions[win.di].Selected = true
 
@@ -712,6 +798,106 @@ const matvecOpsPerSecond = 5e8
 func (p *Planner) estimateIterativeLatency(op linalg.Operator) time.Duration {
 	ops := 150 * 2 * 8 * float64(op.Rows()+op.Cols())
 	return time.Duration(ops / matvecOpsPerSecond * float64(time.Second))
+}
+
+// PlanState is the complete persistable state of a Plan, exposing the
+// unexported pieces (analysis cap, memoized per-pair errors, shard
+// sub-plans) the plan-store codec needs. State snapshots it; RehydratePlan
+// reassembles a Plan from a decoded snapshot.
+type PlanState struct {
+	Generator   string
+	Note        string
+	Workload    *workload.Workload
+	Op          linalg.Operator
+	Dense       *linalg.Matrix
+	Eigenvalues []float64
+	Inference   mm.Inference
+	Mechanism   *mm.Mechanism
+	ModeledCost float64
+	DesignTime  time.Duration
+	Decisions   []Decision
+	Shards      []ShardInfo
+	// ShardPlans are the per-shard sub-plans of a sharded composition, in
+	// shard order; nil for monolithic plans.
+	ShardPlans []*Plan
+	// AnalysisCap is the cell count up to which ExpectedError runs the
+	// exact analysis.
+	AnalysisCap int
+	// ErrByPair is the memoized per-privacy-pair error analysis.
+	ErrByPair map[mm.Privacy]float64
+}
+
+// State returns a snapshot of the plan for persistence. The error memo is
+// copied under the plan's lock, so concurrent ExpectedError calls are
+// safe; operators and the mechanism are shared, not copied (they are
+// immutable after construction).
+func (p *Plan) State() PlanState {
+	p.mu.Lock()
+	memo := make(map[mm.Privacy]float64, len(p.errByPair))
+	for pr, e := range p.errByPair {
+		memo[pr] = e
+	}
+	p.mu.Unlock()
+	return PlanState{
+		Generator:   p.Generator,
+		Note:        p.Note,
+		Workload:    p.Workload,
+		Op:          p.Op,
+		Dense:       p.Dense,
+		Eigenvalues: p.Eigenvalues,
+		Inference:   p.Inference,
+		Mechanism:   p.Mechanism,
+		ModeledCost: p.ModeledCost,
+		DesignTime:  p.DesignTime,
+		Decisions:   p.Decisions,
+		Shards:      p.Shards,
+		ShardPlans:  p.shardPlans,
+		AnalysisCap: p.analysisCap,
+		ErrByPair:   memo,
+	}
+}
+
+// RehydratePlan reassembles a Plan from a persisted snapshot. It
+// validates the structural invariants downstream layers rely on — a
+// workload, a strategy operator and a prepared mechanism must be present,
+// the mechanism's inference method must match the recorded one, and a
+// sharded plan must carry one sub-plan per shard.
+func RehydratePlan(st PlanState) (*Plan, error) {
+	if st.Workload == nil || st.Op == nil || st.Mechanism == nil {
+		return nil, fmt.Errorf("planner: rehydrated plan needs a workload, a strategy operator and a mechanism")
+	}
+	if st.Mechanism.Inference() != st.Inference {
+		return nil, fmt.Errorf("planner: rehydrated mechanism infers by %s, plan recorded %s",
+			st.Mechanism.Inference(), st.Inference)
+	}
+	if st.Op.Cols() != st.Workload.Cells() {
+		return nil, fmt.Errorf("planner: rehydrated strategy has %d cells, workload %d", st.Op.Cols(), st.Workload.Cells())
+	}
+	if len(st.Shards) != len(st.ShardPlans) {
+		return nil, fmt.Errorf("planner: rehydrated plan has %d shard infos for %d shard plans",
+			len(st.Shards), len(st.ShardPlans))
+	}
+	memo := make(map[mm.Privacy]float64, len(st.ErrByPair))
+	for pr, e := range st.ErrByPair {
+		memo[pr] = e
+	}
+	return &Plan{
+		Generator:   st.Generator,
+		Note:        st.Note,
+		Workload:    st.Workload,
+		Op:          st.Op,
+		Dense:       st.Dense,
+		Eigenvalues: st.Eigenvalues,
+		Inference:   st.Inference,
+		Mechanism:   st.Mechanism,
+		ModeledCost: st.ModeledCost,
+		DesignTime:  st.DesignTime,
+		Decisions:   st.Decisions,
+		Shards:      st.Shards,
+		shardPlans:  st.ShardPlans,
+		analysisCap: st.AnalysisCap,
+		errByPair:   memo,
+	}, nil
 }
 
 // planCache is a bounded FIFO plan cache.

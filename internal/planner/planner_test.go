@@ -282,6 +282,41 @@ func TestOverBudgetEscapesToCheapest(t *testing.T) {
 	}
 }
 
+// The throughput calibration is per generator: a build calibrates the
+// winner's own rate (alongside the global fallback), a restored snapshot
+// round-trips, and each candidate's MaxDesignTime budget converts at its
+// own generator's measured rate.
+func TestPerGeneratorRateCalibration(t *testing.T) {
+	p := New(Config{})
+	w := workload.Prefix(256)
+	if _, err := p.Plan(w, Hints{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := p.RateSnapshot()
+	eigenRate, ok := snap["eigen"]
+	if !ok {
+		t.Fatalf("eigen build calibrated no per-generator rate: %v", snap)
+	}
+	if snap[""] == 0 {
+		t.Fatalf("global fallback rate missing from snapshot: %v", snap)
+	}
+	if _, ok := snap["hierarchical"]; ok {
+		t.Fatalf("hierarchical never built but has a rate: %v", snap)
+	}
+
+	// A fresh planner restored from the snapshot budgets eigen at the
+	// measured rate, and a generator with no history at the global rate.
+	q := New(Config{})
+	q.RestoreRates(snap)
+	h := Hints{MaxDesignTime: time.Second}
+	if got, want := q.budgetFor(h, "eigen"), clampRate(eigenRate); got != want {
+		t.Fatalf("eigen budget for 1s = %g, want measured rate %g", got, want)
+	}
+	if got, want := q.budgetFor(h, "hierarchical"), clampRate(snap[""]); got != want {
+		t.Fatalf("no-history budget for 1s = %g, want global rate %g", got, want)
+	}
+}
+
 // Trivial builds (identity, hierarchical) measure timer noise, not
 // throughput: they must not drag the calibrated rate — and with it every
 // MaxDesignTime conversion — orders of magnitude down.

@@ -142,13 +142,12 @@ func (g *shardedGen) bestMonolithic(w *workload.Workload, h Hints) (name string,
 	g.p.mu.Lock()
 	gens := append([]Generator(nil), g.p.gens...)
 	g.p.mu.Unlock()
-	budget := g.p.budget(h)
 	for _, other := range gens {
 		if other.Name() == g.Name() {
 			continue
 		}
 		prop, _ := other.Propose(w, h, false)
-		if prop == nil || prop.Cost > budget {
+		if prop == nil || prop.Cost > g.p.budgetFor(h, other.Name()) {
 			continue
 		}
 		if !ok || prop.Score < score || (prop.Score == score && prop.Cost < cost) {

@@ -64,14 +64,27 @@
 //	                entries are refunded, successful ones committed).
 //	GET  /ledger    → {"<dataset>": {"epsilon": ..., "delta": ...}, ...}  committed spend
 //	                (inline-histogram releases appear under "adhoc:<name>")
+//	GET  /plans     → {"dir": ..., "plans": [{"id": ..., "key": ..., "generator": ...,
+//	                   "workload": ..., "cells": ..., "sizeBytes": ...}, ...]}
+//	                the durable plan store's entries (404 without a store).
+//	DELETE /plans/{id}  withdraws one entry from future restarts; strategies
+//	                already serving keep serving.
+//
+// With Options.StoreDir set (amserve -store), designed plans are
+// persisted write-behind to a durable plan store and rehydrated into the
+// strategy cache on startup, together with the planner's per-generator
+// design-throughput calibration — a restarted server answers previously
+// designed specs with cached:true and zero generator builds.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -81,10 +94,18 @@ import (
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
 	"adaptivemm/internal/planner"
+	"adaptivemm/internal/planstore"
 	"adaptivemm/internal/registry"
 	"adaptivemm/internal/wio"
 	"adaptivemm/internal/workload"
 )
+
+// persistQueueCap bounds the plan-persistence write-behind queue. The
+// queue decouples /design latency from disk: when it is full the
+// incoming write is dropped with a logged reason rather than ever
+// blocking a design response (the plan stays served from memory; only
+// its durability is lost until the next design of the same spec).
+const persistQueueCap = 64
 
 // analysisCap is the largest cell count for which the server computes the
 // analytic expected error and lower bound at design time (both need an
@@ -170,6 +191,24 @@ type Server struct {
 	// registered datasets (see Options.AllowSeededReleases). Never enable
 	// on a server guarding shared data.
 	allowSeeded bool
+
+	// store is the durable plan store, nil when persistence is off. New
+	// plans are persisted through the write-behind queue; on startup the
+	// strategy cache and the planner's throughput calibration are
+	// rehydrated from it.
+	store *planstore.Store
+	// persistMu guards persistCh against enqueue-after-Close.
+	persistMu     sync.Mutex
+	persistCh     chan persistReq
+	persistClosed bool
+	persistWG     sync.WaitGroup
+	logf          func(format string, args ...any)
+}
+
+// persistReq is one queued write-behind persistence job.
+type persistReq struct {
+	key  string
+	plan *planner.Plan
 }
 
 // Options configures a Server.
@@ -183,6 +222,17 @@ type Options struct {
 	// the library API, not the multi-user engine. Seeds on inline ad-hoc
 	// histograms are always allowed (the client supplied that data).
 	AllowSeededReleases bool
+
+	// StoreDir, when non-empty, enables plan persistence: designed plans
+	// are written (asynchronously) to a planstore in this directory, and
+	// a new server rehydrates its strategy cache and design-throughput
+	// calibration from it on startup. Use Open, which can report store
+	// errors; NewWithOptions panics on them.
+	StoreDir string
+
+	// Logf receives operational messages (rehydration skips, persistence
+	// failures). nil means the standard library logger.
+	Logf func(format string, args ...any)
 }
 
 // entry wraps one stored plan. The plan carries the workload, the
@@ -206,16 +256,127 @@ func New() *Server {
 	return NewWithOptions(Options{})
 }
 
-// NewWithOptions returns an empty server configured by opts.
+// NewWithOptions returns an empty server configured by opts. It panics
+// if opts.StoreDir cannot be opened; servers with persistence should use
+// Open and handle the error.
 func NewWithOptions(opts Options) *Server {
-	return &Server{
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open returns a server configured by opts. With a StoreDir it opens the
+// plan store, restores the planner's per-generator design-throughput
+// calibration, rehydrates every compatible stored plan into the strategy
+// cache (corrupt or incompatible entries are skipped with a logged
+// reason), and starts the write-behind persistence worker.
+func Open(opts Options) (*Server, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
 		strategies:  map[string]*entry{},
 		cache:       map[string]string{},
 		pl:          planner.New(planner.Config{CacheSize: maxCachedPlans}),
 		acct:        accountant.New(),
 		reg:         registry.New(),
 		allowSeeded: opts.AllowSeededReleases,
+		logf:        logf,
 	}
+	if opts.StoreDir == "" {
+		return s, nil
+	}
+	store, err := planstore.Open(opts.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	if rates, err := store.LoadCalibration(); err != nil {
+		logf("server: ignoring design-throughput calibration: %v", err)
+	} else if len(rates) > 0 {
+		s.pl.RestoreRates(rates)
+	}
+	loaded, err := store.LoadAll(logf)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range loaded {
+		if len(s.strategies) >= maxStoredStrategies {
+			logf("server: strategy table full at %d entries; remaining stored plans not rehydrated", maxStoredStrategies)
+			break
+		}
+		s.nextID++
+		id := fmt.Sprintf("s%d", s.nextID)
+		s.strategies[id] = &entry{plan: l.Plan}
+		s.cache[l.Meta.Key] = id
+	}
+	if len(loaded) > 0 {
+		logf("server: rehydrated %d plan(s) from %s", len(loaded), opts.StoreDir)
+	}
+	s.persistCh = make(chan persistReq, persistQueueCap)
+	s.persistWG.Add(1)
+	go s.persistLoop()
+	return s, nil
+}
+
+// persistLoop is the write-behind worker: it drains the queue, writing
+// each plan and a fresh calibration snapshot to the store. Persistence
+// failures are logged, never surfaced to the designing client (the plan
+// is already serving from memory).
+func (s *Server) persistLoop() {
+	defer s.persistWG.Done()
+	for req := range s.persistCh {
+		if _, err := s.store.Put(req.key, req.plan); err != nil {
+			s.logf("server: persisting plan %q: %v", req.key, err)
+			continue
+		}
+		if err := s.store.SaveCalibration(s.pl.RateSnapshot()); err != nil {
+			s.logf("server: persisting calibration: %v", err)
+		}
+	}
+}
+
+// enqueuePersist hands a freshly designed plan to the write-behind
+// worker. It never blocks: with the queue full the write is dropped with
+// a logged reason (the plan still serves from memory; durability catches
+// up on the next design of the same spec).
+func (s *Server) enqueuePersist(key string, plan *planner.Plan) {
+	if s.store == nil || key == "" {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.persistClosed {
+		return
+	}
+	select {
+	case s.persistCh <- persistReq{key: key, plan: plan}:
+	default:
+		s.logf("server: plan-persistence queue full (%d pending); dropping write for %q", persistQueueCap, key)
+	}
+}
+
+// Close flushes the plan-persistence write-behind queue and saves a
+// final calibration snapshot. The HTTP handler must be drained first
+// (http.Server.Shutdown); Close only settles persistence. It is safe to
+// call on a server without a store, and at most once.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	s.persistMu.Lock()
+	if s.persistClosed {
+		s.persistMu.Unlock()
+		return nil
+	}
+	s.persistClosed = true
+	close(s.persistCh)
+	s.persistMu.Unlock()
+	s.persistWG.Wait()
+	return s.store.SaveCalibration(s.pl.RateSnapshot())
 }
 
 // Handler returns the HTTP handler for the service.
@@ -226,6 +387,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/answer", s.handleAnswer)
 	mux.HandleFunc("/release", s.handleRelease)
 	mux.HandleFunc("/ledger", s.handleLedger)
+	mux.HandleFunc("/plans", s.handlePlans)
+	mux.HandleFunc("/plans/", s.handlePlanByID)
 	return http.MaxBytesHandler(mux, maxRequestBody)
 }
 
@@ -403,6 +566,9 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	// Durability is write-behind: the response never waits on disk.
+	s.enqueuePersist(key, plan)
+
 	s.respondDesign(w, id, ent, p, false)
 }
 
@@ -427,11 +593,10 @@ func (s *Server) cacheKey(req *designRequest, hints planner.Hints) string {
 	if req.Workload == "" || req.Rows != nil {
 		return ""
 	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	return fmt.Sprintf("%s|seed=%d|%s", strings.ToLower(strings.TrimSpace(req.Workload)), seed, hints.Fingerprint())
+	// The construction is shared with the plan store (and amdesign -save)
+	// so offline-designed plans land in the cache slot a /design of the
+	// same spec looks up.
+	return planstore.CanonicalKey(req.Workload, req.Seed, hints.Fingerprint())
 }
 
 // respondDesign writes the design response; the error analysis for the
@@ -626,6 +791,66 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "POST or GET required")
 	}
+}
+
+// --- plan-store endpoints ---
+
+// plansResponse lists the durable plan store's entries.
+type plansResponse struct {
+	// Dir is the store directory.
+	Dir string `json:"dir"`
+	// Plans lists each entry's id (the DELETE handle), cache key,
+	// generator, workload fingerprint and size.
+	Plans []planstore.Meta `json:"plans"`
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, "no plan store configured (start the server with a store directory)")
+		return
+	}
+	metas, err := s.store.List()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "listing plan store: %v", err)
+		return
+	}
+	if metas == nil {
+		metas = []planstore.Meta{}
+	}
+	writeJSON(w, plansResponse{Dir: s.store.Dir(), Plans: metas})
+}
+
+// handlePlanByID serves DELETE /plans/{id}: it removes the durable entry
+// (so future restarts will not rehydrate it). A strategy already
+// rehydrated or designed in this process keeps serving — /answer ids
+// stay valid for the server's lifetime; only durability is withdrawn.
+func (s *Server) handlePlanByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "DELETE required")
+		return
+	}
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, "no plan store configured (start the server with a store directory)")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/plans/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusBadRequest, "DELETE /plans/{id} with an id from GET /plans")
+		return
+	}
+	if err := s.store.Delete(id); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			httpError(w, http.StatusNotFound, "no stored plan %q", id)
+		} else {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, map[string]string{"deleted": id})
 }
 
 func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
