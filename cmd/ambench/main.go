@@ -44,6 +44,7 @@ func main() {
 		parallel     = flag.Int("parallel", 8, "server-side parallelism for -releasebench")
 		benchMode    = flag.String("benchmode", "estimate", "release mode for -releasebench: answers | estimate")
 		benchOut     = flag.String("benchout", "BENCH_release.json", "trajectory file for -releasebench results (empty to skip writing)")
+		benchPhase   = flag.String("benchphase", "", "optional label recorded with -releasebench results (e.g. pre-optimization)")
 
 		planBench    = flag.String("planbench", "", "workload spec (or 'all'): benchmark planner generator selection and design latency")
 		planBenchOut = flag.String("planbenchout", "BENCH_plan.json", "trajectory file for -planbench results (empty to skip writing)")
@@ -59,7 +60,7 @@ func main() {
 	}
 
 	if *releaseBench != "" {
-		if err := runReleaseBench(*releaseBench, *benchMode, *requests, *batch, *parallel, *benchOut); err != nil {
+		if err := runReleaseBench(*releaseBench, *benchMode, *requests, *batch, *parallel, *benchPhase, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ambench: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,6 +18,9 @@
 // restarts. Plans designed offline with amdesign -save can be dropped
 // into the store directory.
 //
+// -pprof-addr starts net/http/pprof on a separate listener (off by
+// default, never on the serving address), for profiling a live server.
+//
 // SIGINT/SIGTERM shut the server down gracefully: in-flight releases are
 // drained and the plan-store write-behind queue is flushed before exit.
 //
@@ -42,6 +45,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +64,8 @@ func main() {
 		"plan-store directory: persist designed plans and rehydrate the strategy cache on startup (empty = memory only)")
 	allowSeeded := flag.Bool("allow-seeded-releases", false,
 		"DEBUG ONLY: honor client-pinned noise seeds on registered datasets (lets the requester reconstruct the noise and defeat the privacy budget)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"optional separate listen address for net/http/pprof profiling endpoints (empty = disabled; never exposed on the serving listener)")
 	flag.Parse()
 
 	srv, err := server.Open(server.Options{
@@ -74,6 +80,26 @@ func main() {
 	}
 	if *storeDir != "" {
 		log.Printf("amserve plan store at %s", *storeDir)
+	}
+
+	// Profiling runs on its own listener so the endpoints can be bound to
+	// localhost (or firewalled) independently of the serving address, and
+	// are never reachable through the API surface. The default net/http
+	// mux would register pprof globally; an explicit mux keeps the
+	// exposure opt-in per route.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("amserve pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("amserve: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,0 +1,337 @@
+// Write-into matvec variants: the allocation-free half of the Operator
+// contract. Operator.MulVec must return freshly allocated output, which
+// is the right default for design-time code but wrong for the release hot
+// path, where the same mechanism answers the same-shaped product millions
+// of times. IntoOperator is the optional extension that lets a
+// representation write A·x into a caller-owned buffer; the MulVecInto /
+// MulVecTInto helpers fall back to the allocating path (plus a copy) for
+// operators that lack it, so callers can always work buffer-first.
+//
+// dst must not alias x (or y): implementations overwrite dst freely,
+// including zeroing it before accumulation.
+
+package linalg
+
+// IntoOperator is implemented by operators whose matvecs can write into a
+// caller-supplied buffer. Structured representations on the release hot
+// path (Matrix, Sparse, Identity, Prefix, Intervals, BlockDiag and the
+// cheap wrappers) implement it allocation-free; combinators that need an
+// intermediate vector (Kron, Composed, RowPermuted) may still allocate
+// internally but keep the caller's buffer discipline intact.
+type IntoOperator interface {
+	Operator
+	// MulVecInto writes A·x into dst. len(dst) must be Rows(),
+	// len(x) must be Cols(), and dst must not alias x.
+	MulVecInto(dst, x []float64)
+	// MulVecTInto writes Aᵀ·y into dst. len(dst) must be Cols(),
+	// len(y) must be Rows(), and dst must not alias y.
+	MulVecTInto(dst, y []float64)
+}
+
+// MulVecInto writes op·x into dst, using the IntoOperator fast path when
+// the representation has one and falling back to MulVec plus a copy
+// otherwise. It returns dst.
+func MulVecInto(op Operator, dst, x []float64) []float64 {
+	checkMulVecLen(op, len(dst), op.Rows(), false)
+	if io, ok := op.(IntoOperator); ok {
+		io.MulVecInto(dst, x)
+		return dst
+	}
+	copy(dst, op.MulVec(x))
+	return dst
+}
+
+// MulVecTInto writes opᵀ·y into dst, using the IntoOperator fast path
+// when available and falling back to MulVecT plus a copy otherwise. It
+// returns dst.
+func MulVecTInto(op Operator, dst, y []float64) []float64 {
+	checkMulVecLen(op, len(dst), op.Cols(), true)
+	if io, ok := op.(IntoOperator); ok {
+		io.MulVecTInto(dst, y)
+		return dst
+	}
+	copy(dst, op.MulVecT(y))
+	return dst
+}
+
+// --- Sparse ---
+
+// MulVecInto writes A·x into dst in O(nnz) without allocating.
+func (s *Sparse) MulVecInto(dst, x []float64) {
+	checkMulVecLen(s, len(x), s.cols, false)
+	checkMulVecLen(s, len(dst), s.rows, false)
+	for i := 0; i < s.rows; i++ {
+		var acc float64
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			acc += s.val[k] * x[s.colIdx[k]]
+		}
+		dst[i] = acc
+	}
+}
+
+// MulVecTInto writes Aᵀ·y into dst in O(nnz) without allocating.
+func (s *Sparse) MulVecTInto(dst, y []float64) {
+	checkMulVecLen(s, len(y), s.rows, true)
+	checkMulVecLen(s, len(dst), s.cols, true)
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < s.rows; i++ {
+		v := y[i]
+		if v == 0 {
+			continue
+		}
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			dst[s.colIdx[k]] += v * s.val[k]
+		}
+	}
+}
+
+// --- Identity ---
+
+// MulVecInto copies x into dst.
+func (o *IdentityOp) MulVecInto(dst, x []float64) {
+	checkMulVecLen(o, len(x), o.n, false)
+	checkMulVecLen(o, len(dst), o.n, false)
+	copy(dst, x)
+}
+
+// MulVecTInto copies y into dst.
+func (o *IdentityOp) MulVecTInto(dst, y []float64) {
+	checkMulVecLen(o, len(y), o.n, true)
+	checkMulVecLen(o, len(dst), o.n, true)
+	copy(dst, y)
+}
+
+// --- Prefix ---
+
+// MulVecInto writes the running sums of x into dst.
+func (o *PrefixOp) MulVecInto(dst, x []float64) {
+	checkMulVecLen(o, len(x), o.n, false)
+	checkMulVecLen(o, len(dst), o.n, false)
+	var s float64
+	for i, v := range x {
+		s += v
+		dst[i] = s
+	}
+}
+
+// MulVecTInto writes the reverse running sums of y into dst.
+func (o *PrefixOp) MulVecTInto(dst, y []float64) {
+	checkMulVecLen(o, len(y), o.n, true)
+	checkMulVecLen(o, len(dst), o.n, true)
+	var s float64
+	for j := o.n - 1; j >= 0; j-- {
+		s += y[j]
+		dst[j] = s
+	}
+}
+
+// --- Intervals ---
+
+// MulVecInto answers every interval query into dst without the prefix
+// array: each lo keeps a running sum over hi, so the values accumulate in
+// ascending-cell order (MulVec differences two prefix sums instead and may
+// round differently in the last bit).
+func (o *IntervalsOp) MulVecInto(dst, x []float64) {
+	checkMulVecLen(o, len(x), o.d, false)
+	checkMulVecLen(o, len(dst), o.Rows(), false)
+	r := 0
+	for lo := 0; lo < o.d; lo++ {
+		var s float64
+		for hi := lo; hi < o.d; hi++ {
+			s += x[hi]
+			dst[r] = s
+			r++
+		}
+	}
+}
+
+// MulVecTInto scatters each interval weight onto its cells via a
+// difference array kept inside dst itself: the d+1-th difference cell is
+// never read by the prefix pass, so dst[0:d] suffices, and the prefix pass
+// reads each dst[j] before overwriting it.
+func (o *IntervalsOp) MulVecTInto(dst, y []float64) {
+	checkMulVecLen(o, len(y), o.Rows(), true)
+	checkMulVecLen(o, len(dst), o.d, true)
+	for j := range dst {
+		dst[j] = 0
+	}
+	r := 0
+	for lo := 0; lo < o.d; lo++ {
+		for hi := lo; hi < o.d; hi++ {
+			v := y[r]
+			r++
+			if v == 0 {
+				continue
+			}
+			dst[lo] += v
+			if hi+1 < o.d {
+				dst[hi+1] -= v
+			}
+		}
+	}
+	var s float64
+	for j := 0; j < o.d; j++ {
+		s += dst[j]
+		dst[j] = s
+	}
+}
+
+// --- Structural combinators ---
+
+// MulVecInto applies each part into its slice of dst; allocation-free when
+// every part is.
+func (o *StackOp) MulVecInto(dst, x []float64) {
+	checkMulVecLen(o, len(x), o.cols, false)
+	checkMulVecLen(o, len(dst), o.rows, false)
+	at := 0
+	for _, p := range o.parts {
+		MulVecInto(p, dst[at:at+p.Rows()], x)
+		at += p.Rows()
+	}
+}
+
+// MulVecTInto accumulates the parts' transposed products. The first part
+// writes dst directly; later parts go through a temporary (one allocation
+// per call when there are two or more parts).
+func (o *StackOp) MulVecTInto(dst, y []float64) {
+	checkMulVecLen(o, len(y), o.rows, true)
+	checkMulVecLen(o, len(dst), o.cols, true)
+	at := 0
+	var tmp []float64
+	for i, p := range o.parts {
+		if i == 0 {
+			MulVecTInto(p, dst, y[at:at+p.Rows()])
+		} else {
+			if tmp == nil {
+				tmp = make([]float64, o.cols)
+			}
+			MulVecTInto(p, tmp, y[at:at+p.Rows()])
+			for j, v := range tmp {
+				dst[j] += v
+			}
+		}
+		at += p.Rows()
+	}
+}
+
+// MulVecInto applies each block into its slices of dst and x;
+// allocation-free when every part is.
+func (o *BlockDiagOp) MulVecInto(dst, x []float64) {
+	checkMulVecLen(o, len(x), o.cols, false)
+	checkMulVecLen(o, len(dst), o.rows, false)
+	atR, atC := 0, 0
+	for _, p := range o.parts {
+		MulVecInto(p, dst[atR:atR+p.Rows()], x[atC:atC+p.Cols()])
+		atR += p.Rows()
+		atC += p.Cols()
+	}
+}
+
+// MulVecTInto applies each block's transpose into its slices of dst and y;
+// allocation-free when every part is.
+func (o *BlockDiagOp) MulVecTInto(dst, y []float64) {
+	checkMulVecLen(o, len(y), o.rows, true)
+	checkMulVecLen(o, len(dst), o.cols, true)
+	atR, atC := 0, 0
+	for _, p := range o.parts {
+		MulVecTInto(p, dst[atC:atC+p.Cols()], y[atR:atR+p.Rows()])
+		atR += p.Rows()
+		atC += p.Cols()
+	}
+}
+
+// MulVecInto writes s·(A x) into dst.
+func (o *ScaledOp) MulVecInto(dst, x []float64) {
+	MulVecInto(o.base, dst, x)
+	for i := range dst {
+		dst[i] *= o.s
+	}
+}
+
+// MulVecTInto writes s·(Aᵀ y) into dst.
+func (o *ScaledOp) MulVecTInto(dst, y []float64) {
+	MulVecTInto(o.base, dst, y)
+	for i := range dst {
+		dst[i] *= o.s
+	}
+}
+
+// MulVecInto writes diag(scale)·(A x) into dst.
+func (o *RowScaledOp) MulVecInto(dst, x []float64) {
+	MulVecInto(o.base, dst, x)
+	for i := range dst {
+		dst[i] *= o.scale[i]
+	}
+}
+
+// MulVecTInto writes Aᵀ·(diag(scale) y) into dst; it allocates the scaled
+// copy of y (the base transpose cannot see dst as its input).
+func (o *RowScaledOp) MulVecTInto(dst, y []float64) {
+	checkMulVecLen(o, len(y), o.Rows(), true)
+	scaled := make([]float64, len(y))
+	for i, v := range y {
+		scaled[i] = v * o.scale[i]
+	}
+	MulVecTInto(o.base, dst, scaled)
+}
+
+// MulVecInto delegates to the wrapped operator's fast path.
+func (o *NormedOp) MulVecInto(dst, x []float64) { MulVecInto(o.Operator, dst, x) }
+
+// MulVecTInto delegates to the wrapped operator's fast path.
+func (o *NormedOp) MulVecTInto(dst, y []float64) { MulVecTInto(o.Operator, dst, y) }
+
+// MulVecInto computes the base product and gathers the selected rows; it
+// allocates the base-sized intermediate.
+func (o *RowPermutedOp) MulVecInto(dst, x []float64) {
+	checkMulVecLen(o, len(dst), len(o.perm), false)
+	full := o.base.MulVec(x)
+	for i, p := range o.perm {
+		dst[i] = full[p]
+	}
+}
+
+// MulVecTInto scatters y into base row positions and applies the base
+// transpose; it allocates the base-sized intermediate.
+func (o *RowPermutedOp) MulVecTInto(dst, y []float64) {
+	checkMulVecLen(o, len(y), len(o.perm), true)
+	full := make([]float64, o.base.Rows())
+	for i, p := range o.perm {
+		full[p] += y[i]
+	}
+	MulVecTInto(o.base, dst, full)
+}
+
+// MulVecInto applies inner then outer through an allocated intermediate of
+// inner.Rows() values.
+func (o *ComposedOp) MulVecInto(dst, x []float64) {
+	mid := make([]float64, o.inner.Rows())
+	MulVecInto(o.inner, mid, x)
+	MulVecInto(o.outer, dst, mid)
+}
+
+// MulVecTInto applies outerᵀ then innerᵀ through an allocated intermediate.
+func (o *ComposedOp) MulVecTInto(dst, y []float64) {
+	mid := make([]float64, o.outer.Cols())
+	MulVecTInto(o.outer, mid, y)
+	MulVecTInto(o.inner, dst, mid)
+}
+
+// Compile-time checks that the hot-path representations implement the
+// write-into extension.
+var _ = []IntoOperator{
+	(*Matrix)(nil),
+	(*Sparse)(nil),
+	(*IdentityOp)(nil),
+	(*PrefixOp)(nil),
+	(*IntervalsOp)(nil),
+	(*StackOp)(nil),
+	(*BlockDiagOp)(nil),
+	(*ScaledOp)(nil),
+	(*RowScaledOp)(nil),
+	(*RowPermutedOp)(nil),
+	(*NormedOp)(nil),
+	(*ComposedOp)(nil),
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// intoOps builds one operator of every hot-path representation, each with
+// a write-into fast path to check against its allocating matvec.
+func intoOps() map[string]Operator {
+	sp := NewSparseBuilder(6)
+	sp.AppendRangeRow(0, 5, 1)
+	sp.AppendRangeRow(0, 2, 2)
+	sp.AppendRow([]int{1, 4}, []float64{-1, 3})
+	sparse := sp.Build()
+
+	dense := ToDense(sparse)
+	scale := []float64{0.5, -1, 2}
+	return map[string]Operator{
+		"matrix":      dense,
+		"sparse":      sparse,
+		"identity":    Eye(6),
+		"prefix":      NewPrefixOp(6),
+		"intervals":   NewIntervalsOp(4),
+		"stack":       StackOps(Eye(6), sparse),
+		"blockdiag":   BlockDiag(Eye(2), NewPrefixOp(3), Eye(1)),
+		"scaled":      ScaleOp(sparse, -2.5),
+		"rowscaled":   ScaleRows(sparse, scale),
+		"rowpermuted": PermuteRows(sparse, []int{2, 0, 1, 0}),
+		"normed":      &NormedOp{Operator: sparse},
+		"composed":    ComposeOps(sparse, Eye(6)),
+	}
+}
+
+// TestMulVecIntoMatchesMulVec checks, for every representation with a
+// write-into fast path, that MulVecInto / MulVecTInto write exactly what
+// the allocating matvecs return — including overwriting a dirty dst.
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for name, op := range intoOps() {
+		if _, ok := op.(IntoOperator); !ok {
+			t.Fatalf("%s: no IntoOperator fast path", name)
+		}
+		for trial := 0; trial < 10; trial++ {
+			x := make([]float64, op.Cols())
+			for i := range x {
+				x[i] = r.NormFloat64()
+			}
+			y := make([]float64, op.Rows())
+			for i := range y {
+				y[i] = r.NormFloat64()
+			}
+			dst := make([]float64, op.Rows())
+			for i := range dst {
+				dst[i] = math.NaN()
+			}
+			MulVecInto(op, dst, x)
+			want := op.MulVec(x)
+			for i := range dst {
+				if math.Abs(dst[i]-want[i]) > 1e-12 {
+					t.Fatalf("%s: MulVecInto[%d] = %g, want %g", name, i, dst[i], want[i])
+				}
+			}
+			dstT := make([]float64, op.Cols())
+			for i := range dstT {
+				dstT[i] = math.NaN()
+			}
+			MulVecTInto(op, dstT, y)
+			wantT := op.MulVecT(y)
+			for i := range dstT {
+				if math.Abs(dstT[i]-wantT[i]) > 1e-12 {
+					t.Fatalf("%s: MulVecTInto[%d] = %g, want %g", name, i, dstT[i], wantT[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveCGLSIntoMatchesSolveCGLS checks the workspace solver against
+// the allocating wrapper and pins its zero-alloc steady state.
+func TestSolveCGLSIntoMatchesSolveCGLS(t *testing.T) {
+	b := NewSparseBuilder(8)
+	for _, iv := range [][2]int{{0, 7}, {0, 3}, {4, 7}, {0, 1}, {2, 3}, {4, 5}, {6, 7}} {
+		b.AppendRangeRow(iv[0], iv[1], 1)
+	}
+	a := b.Build()
+	rhs := make([]float64, a.Rows())
+	for i := range rhs {
+		rhs[i] = float64(i%5) - 2
+	}
+	want, err := SolveCGLS(a, rhs, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := &CGWorkspace{}
+	dst := make([]float64, a.Cols())
+	if err := SolveCGLSInto(a, rhs, dst, CGOptions{}, ws); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("SolveCGLSInto[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if err := SolveCGLSInto(a, rhs, dst, CGOptions{}, ws); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("warmed SolveCGLSInto allocates %v per run, want 0", n)
+	}
+}

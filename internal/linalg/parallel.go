@@ -1,42 +1,25 @@
 package linalg
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // parallelThreshold is the approximate flop count above which row-blocked
 // operations fan out across cores. Small problems stay single-threaded to
-// avoid goroutine overhead.
+// avoid handoff overhead.
 const parallelThreshold = 1 << 22
 
-// ParallelRows splits [0,n) into contiguous blocks, one per worker, and
-// runs f on each block concurrently. Each block writes disjoint output
-// rows, so results are deterministic. With work ≤ parallelThreshold (or a
-// single CPU) it runs inline.
+// ParallelRows splits [0,n) into contiguous blocks and runs f on each
+// block across the persistent worker pool (see pool.go), the caller
+// working alongside. Each block writes disjoint output rows, so results
+// are deterministic. With work ≤ parallelThreshold (or a single CPU) it
+// runs inline.
 func ParallelRows(n int, work int, f func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers <= 1 || work <= parallelThreshold || n < 2*workers {
 		f(0, n)
 		return
 	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
 	block := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += block {
-		hi := lo + block
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	runParallel(&funcTask{f: f}, n, block, workers-1)
 }
 
 // MulParallel is Mul with row-blocked parallelism; results are identical.

@@ -68,11 +68,14 @@ func (i Inference) String() string {
 // NewMechanismOp, or explicitly by the planner in NewMechanismInference.
 type Mechanism struct {
 	a         linalg.Operator
-	dense     *linalg.Matrix // a as dense, when that is its representation
-	apinv     *linalg.Matrix // dense pseudo-inverse for InferDensePinv
-	gram      *linalg.Matrix // dense AᵀA for InferNormalCG
-	inference Inference      // resolved method, never InferAuto
+	dense     *linalg.Matrix     // a as dense, when that is its representation
+	apinv     *linalg.Matrix     // dense pseudo-inverse for InferDensePinv
+	gram      *linalg.Matrix     // dense AᵀA for InferNormalCG
+	tree      *linalg.TreeSolver // exact O(n) solver for interval-tree strategies
+	inference Inference          // resolved method, never InferAuto
 	sensL2    float64
+
+	scratch sync.Pool // recycled *ReleaseScratch
 
 	// Sharded (composite) mechanisms only — see NewShardedMechanism.
 	shards    []Shard
@@ -136,7 +139,12 @@ func NewMechanismInference(a linalg.Operator, inf Inference) (*Mechanism, error)
 		}
 		m.gram = linalg.OperatorGram(a)
 	case InferCGLS:
-		// Nothing to prepare: pure matvecs per release.
+		// Nothing dense to prepare — but when the strategy is an interval
+		// forest (hierarchical trees and friends), precompute the exact
+		// O(rows) tree solver. Detection runs on the CSR form, so plans
+		// rehydrated from the store accelerate without any codec change;
+		// anything unrecognized keeps pure CGLS.
+		m.tree, _ = linalg.NewTreeSolver(a)
 	case InferSharded:
 		return nil, fmt.Errorf("mm: sharded inference requires per-shard mechanisms; use NewShardedMechanism")
 	default:
@@ -231,18 +239,16 @@ func (m *Mechanism) SensitivityL1() float64 {
 // infer computes the least-squares estimate x̂ from noisy strategy answers
 // y through the mechanism's resolved inference method. For sharded
 // mechanisms the estimate is the concatenation of the per-shard
-// sub-domain estimates.
+// sub-domain estimates. It is the allocating spelling of inferInto.
 func (m *Mechanism) infer(y []float64) ([]float64, error) {
-	switch m.inference {
-	case InferDensePinv:
-		return m.apinv.MulVec(y), nil
-	case InferNormalCG:
-		return linalg.SolveSymCG(m.gram, m.a.MulVecT(y), linalg.CGOptions{})
-	case InferSharded:
-		return m.inferSharded(y)
-	default:
-		return linalg.SolveCGLS(m.a, y, linalg.CGOptions{})
+	out := make([]float64, m.estimateLen())
+	sc := m.GetScratch()
+	err := m.inferInto(out, y, sc)
+	m.PutScratch(sc)
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // EstimateGaussian runs one (ε,δ)-differentially private release: it
@@ -253,35 +259,25 @@ func (m *Mechanism) infer(y []float64) ([]float64, error) {
 // concatenation of the per-shard sub-domain estimates; use
 // WorkloadAnswers (or AnswerGaussian) to map it onto workload answers.
 func (m *Mechanism) EstimateGaussian(x []float64, p Privacy, r NoiseSource) ([]float64, error) {
-	if err := p.Validate(); err != nil {
+	sc := m.GetScratch()
+	defer m.PutScratch(sc)
+	est, err := m.EstimateGaussianInto(sc, x, p, r)
+	if err != nil {
 		return nil, err
 	}
-	if len(x) != m.a.Cols() {
-		return nil, fmt.Errorf("mm: data vector has %d cells, strategy expects %d", len(x), m.a.Cols())
-	}
-	sigma := p.GaussianSigma(m.sensL2)
-	y := m.a.MulVec(x)
-	for i := range y {
-		y[i] += sigma * r.NormFloat64()
-	}
-	return m.infer(y)
+	return append([]float64(nil), est...), nil
 }
 
 // EstimateLaplace is the pure ε-differential privacy analogue using Laplace
 // noise calibrated to the L1 sensitivity of the strategy.
 func (m *Mechanism) EstimateLaplace(x []float64, epsilon float64, r NoiseSource) ([]float64, error) {
-	if epsilon <= 0 {
-		return nil, fmt.Errorf("mm: epsilon = %g must be positive", epsilon)
+	sc := m.GetScratch()
+	defer m.PutScratch(sc)
+	est, err := m.EstimateLaplaceInto(sc, x, epsilon, r)
+	if err != nil {
+		return nil, err
 	}
-	if len(x) != m.a.Cols() {
-		return nil, fmt.Errorf("mm: data vector has %d cells, strategy expects %d", len(x), m.a.Cols())
-	}
-	b := m.SensitivityL1() / epsilon
-	y := m.a.MulVec(x)
-	for i := range y {
-		y[i] += laplace(r, b)
-	}
-	return m.infer(y)
+	return append([]float64(nil), est...), nil
 }
 
 // AnswerGaussian answers a workload in one shot: private estimate followed
@@ -291,11 +287,13 @@ func (m *Mechanism) EstimateLaplace(x []float64, epsilon float64, r NoiseSource)
 // scatter the answers back into the workload's row order; they only
 // answer the workload they were planned for.
 func (m *Mechanism) AnswerGaussian(w *workload.Workload, x []float64, p Privacy, r NoiseSource) ([]float64, error) {
-	xhat, err := m.EstimateGaussian(x, p, r)
+	sc := m.GetScratch()
+	defer m.PutScratch(sc)
+	ans, err := m.AnswerGaussianInto(sc, w, x, p, r)
 	if err != nil {
 		return nil, err
 	}
-	return m.WorkloadAnswers(w, xhat)
+	return append([]float64(nil), ans...), nil
 }
 
 // WorkloadAnswers maps a private estimate produced by this mechanism onto

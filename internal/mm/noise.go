@@ -1,11 +1,10 @@
 package mm
 
 import (
-	"bufio"
 	cryptorand "crypto/rand"
-	"encoding/binary"
-	"io"
 	"math/rand"
+	randv2 "math/rand/v2"
+	"sync"
 )
 
 // NoiseSource is the randomness a release draws its noise from. It is the
@@ -22,34 +21,146 @@ type NoiseSource interface {
 	NormFloat64() float64
 }
 
-// cryptoSource adapts crypto/rand to rand.Source64, so math/rand's
-// distribution code (ziggurat NormFloat64, Float64) runs on a stream
-// where every word is fresh CSPRNG output. Merely *seeding* math/rand
-// from crypto/rand is not enough: rand.NewSource reduces the seed modulo
-// 2³¹−1, leaving ~2.1e9 possible noise streams — enumerable offline by an
-// attacker holding one release. The buffered reader amortizes the
-// syscall; a source is used by a single release, so no locking is needed.
-type cryptoSource struct {
-	r *bufio.Reader
+// NormalFiller is the optional bulk extension of NoiseSource: fill a whole
+// vector of standard normal draws in one call, letting the source amortize
+// its underlying randomness in large blocks instead of per-draw.
+type NormalFiller interface {
+	FillNormal(dst []float64)
 }
 
-func (s *cryptoSource) Uint64() uint64 {
-	var b [8]byte
-	if _, err := io.ReadFull(s.r, b[:]); err != nil {
+// LaplaceFiller is the bulk Laplace analogue, drawing by inverse CDF with
+// scale b.
+type LaplaceFiller interface {
+	FillLaplace(dst []float64, b float64)
+}
+
+// fillNormal fills dst with standard normal draws, through the bulk
+// interface when the source has one. The scalar fallback consumes draws in
+// index order, so on a deterministic source it produces exactly the stream
+// a draw-per-cell loop would.
+func fillNormal(r NoiseSource, dst []float64) {
+	if f, ok := r.(NormalFiller); ok {
+		f.FillNormal(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = r.NormFloat64()
+	}
+}
+
+// fillLaplace fills dst with Laplace(0, b) draws, through the bulk
+// interface when the source has one; the scalar fallback preserves draw
+// order like fillNormal.
+func fillLaplace(r NoiseSource, dst []float64, b float64) {
+	if f, ok := r.(LaplaceFiller); ok {
+		f.FillLaplace(dst, b)
+		return
+	}
+	for i := range dst {
+		dst[i] = laplace(r, b)
+	}
+}
+
+// cryptoRekeyWords is how many 64-bit words a cryptoWords stream serves
+// before re-keying its generator with fresh OS entropy (1 MiB of output
+// per 32-byte getrandom). Re-keying bounds how much output ever depends
+// on one key and gives forward secrecy at release granularity: by the
+// time an attacker could inspect process memory, the keys behind past
+// releases are long gone.
+const cryptoRekeyWords = 1 << 17
+
+// cryptoWords adapts a cryptographically strong generator to
+// rand.Source64, so math/rand's distribution code (ziggurat NormFloat64,
+// Float64) runs on a stream safe to publish noise from. Merely *seeding*
+// math/rand from crypto/rand is not enough: rand.NewSource reduces the
+// seed modulo 2³¹−1, leaving ~2.1e9 possible noise streams — enumerable
+// offline by an attacker holding one release. Words instead come from a
+// ChaCha8 stream keyed (and periodically re-keyed) by 256 bits of OS
+// entropy: the keyspace is unenumerable and the stream is
+// indistinguishable from the OS CSPRNG's own output, at in-process
+// generation cost instead of a kernel read per block. A source is used
+// by a single release at a time, so no locking is needed.
+type cryptoWords struct {
+	c *randv2.ChaCha8
+	n int // words served under the current key
+}
+
+func (s *cryptoWords) Uint64() uint64 {
+	if s.c == nil || s.n >= cryptoRekeyWords {
+		s.rekey()
+	}
+	s.n++
+	return s.c.Uint64()
+}
+
+func (s *cryptoWords) rekey() {
+	var seed [32]byte
+	if _, err := cryptorand.Read(seed[:]); err != nil {
 		// crypto/rand does not fail on any supported platform; if it ever
 		// does, releasing with degraded noise is not an option.
 		panic("mm: crypto/rand unavailable: " + err.Error())
 	}
-	return binary.LittleEndian.Uint64(b[:])
+	if s.c == nil {
+		s.c = randv2.NewChaCha8(seed)
+	} else {
+		s.c.Seed(seed)
+	}
+	s.n = 0
 }
 
-func (s *cryptoSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+func (s *cryptoWords) Int63() int64 { return int64(s.Uint64() >> 1) }
 
-func (s *cryptoSource) Seed(int64) {} // the stream has no seed state
+func (s *cryptoWords) Seed(int64) {} // the stream ignores deterministic seeds
 
-// NewCryptoSeededSource returns a NoiseSource whose every draw consumes
-// fresh output from the operating system's CSPRNG, so noise streams are
-// unpredictable across releases and across server restarts.
+// CryptoSource is the production noise source: math/rand distribution
+// code over a crypto-keyed ChaCha8 word stream, with the bulk fill
+// interfaces. The stream position carries over between pooled releases,
+// which is safe — each word is still used exactly once — and is what
+// lets a pooled source amortize key setup across releases.
+type CryptoSource struct {
+	*rand.Rand
+	words cryptoWords
+}
+
+// NewCryptoSeededSource returns a NoiseSource backed by a
+// cryptographically strong generator keyed (and periodically re-keyed)
+// from the operating system's CSPRNG, so noise streams are unpredictable
+// across releases and across server restarts.
 func NewCryptoSeededSource() NoiseSource {
-	return rand.New(&cryptoSource{r: bufio.NewReaderSize(cryptorand.Reader, 512)})
+	s := &CryptoSource{}
+	s.Rand = rand.New(&s.words)
+	return s
 }
+
+// FillNormal fills dst with standard normal draws; the ziggurat draws
+// stream over the crypto-keyed words.
+func (s *CryptoSource) FillNormal(dst []float64) {
+	for i := range dst {
+		dst[i] = s.Rand.NormFloat64()
+	}
+}
+
+// FillLaplace fills dst with Laplace(0, b) draws by inverse CDF over the
+// crypto-keyed words.
+func (s *CryptoSource) FillLaplace(dst []float64, b float64) {
+	for i := range dst {
+		dst[i] = laplace(s, b)
+	}
+}
+
+// cryptoPool recycles crypto sources so the server's hot path skips the
+// per-release source construction and keeps each source's partially
+// consumed CSPRNG block. Pooling is safe because a source holds no
+// per-release state: only the word buffer, whose every word is consumed
+// exactly once regardless of which release consumes it.
+var cryptoPool = sync.Pool{New: func() any { return NewCryptoSeededSource().(*CryptoSource) }}
+
+// AcquireCryptoSource returns a pooled production noise source. Release it
+// with ReleaseCryptoSource when the release's noise has been drawn.
+func AcquireCryptoSource() *CryptoSource {
+	return cryptoPool.Get().(*CryptoSource)
+}
+
+// ReleaseCryptoSource returns a source to the pool. The caller must not
+// use it afterwards.
+func ReleaseCryptoSource(s *CryptoSource) { cryptoPool.Put(s) }

@@ -58,3 +58,77 @@ func TestCryptoSeededSourcesDiffer(t *testing.T) {
 	}
 	t.Fatal("two crypto-seeded sources produced identical noise streams")
 }
+
+// TestCryptoWordsRekeys drives a word stream past its re-key budget and
+// checks the counter wraps: the generator must take fresh OS entropy at
+// the boundary instead of serving unbounded output from one key.
+func TestCryptoWordsRekeys(t *testing.T) {
+	var s cryptoWords
+	s.Uint64()
+	if s.c == nil || s.n != 1 {
+		t.Fatalf("after first draw: generator %v, counter %d", s.c, s.n)
+	}
+	s.n = cryptoRekeyWords // fast-forward to the boundary
+	s.Uint64()
+	if s.n != 1 {
+		t.Fatalf("counter after re-key draw = %d, want 1", s.n)
+	}
+}
+
+// TestCryptoFillMatchesScalarOrder checks the bulk fill interfaces draw
+// in index order from the same stream the scalar loop would use, so the
+// batched server path and a draw-per-cell loop are statistically the
+// same sampler. The stream is not reproducible, so the test compares
+// moments, signs and continuity properties rather than values.
+func TestCryptoFillMatchesScalarOrder(t *testing.T) {
+	src := NewCryptoSeededSource().(*CryptoSource)
+	normal := make([]float64, 200000)
+	src.FillNormal(normal)
+	var sum, sum2 float64
+	for _, v := range normal {
+		sum += v
+		sum2 += v * v
+	}
+	n := float64(len(normal))
+	mean, variance := sum/n, sum2/n
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.03 {
+		t.Fatalf("FillNormal moments: mean %g, variance %g", mean, variance)
+	}
+	lap := make([]float64, 200000)
+	const b = 2.5
+	src.FillLaplace(lap, b)
+	sum, sum2 = 0, 0
+	for _, v := range lap {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("FillLaplace produced %g", v)
+		}
+		sum += v
+		sum2 += v * v
+	}
+	mean, variance = sum/n, sum2/n
+	// Laplace(0, b) has variance 2b².
+	if math.Abs(mean) > 0.05 || math.Abs(variance-2*b*b)/(2*b*b) > 0.05 {
+		t.Fatalf("FillLaplace moments: mean %g, variance %g, want ~%g", mean, variance, 2*b*b)
+	}
+}
+
+// TestCryptoSourcePool checks acquire/release recycling keeps sources
+// usable and distinct in output across reuse.
+func TestCryptoSourcePool(t *testing.T) {
+	s := AcquireCryptoSource()
+	a := s.NormFloat64()
+	ReleaseCryptoSource(s)
+	s2 := AcquireCryptoSource()
+	defer ReleaseCryptoSource(s2)
+	b := s2.NormFloat64()
+	if a == b {
+		t.Fatal("pooled source repeated a draw after recycling")
+	}
+	buf := make([]float64, 64)
+	s2.FillNormal(buf)
+	for i, v := range buf {
+		if v == 0 && i > 0 && buf[i-1] == 0 {
+			t.Fatal("pooled source produced a dead stream")
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Pooled release scratch: the allocation-free release entry points.
+//
+// The mechanism's economics are design-once / release-many, so the
+// steady-state cost per release decides serving throughput. The classic
+// entry points (EstimateGaussian and friends) allocate the measurement
+// vector, the noise vector, the estimate, and fresh solver scratch on
+// every call; ReleaseScratch hoists all of it into one reusable object
+// recycled through a per-mechanism sync.Pool. The Into variants return
+// slices owned by the scratch — valid until the scratch's next use — and
+// on the dense-pinv and CGLS paths perform zero steady-state allocations
+// (pinned by TestAllocsPerRelease). The classic entry points now rent a
+// scratch internally and copy the result out, so both spellings run the
+// same kernels and produce bit-identical output on the same noise stream.
+
+package mm
+
+import (
+	"fmt"
+
+	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/workload"
+)
+
+// ReleaseScratch holds every buffer one release needs: noisy strategy
+// answers, the noise vector, the estimate, workload answers, and the
+// least-squares solver workspace. The zero value is ready to use; buffers
+// grow on demand and stay at their high-water mark. A scratch must not be
+// used by two releases concurrently.
+type ReleaseScratch struct {
+	y     []float64 // noisy strategy answers (rows)
+	noise []float64 // raw noise draws (rows)
+	est   []float64 // cell estimate x̂
+	ans   []float64 // workload answers
+	rhs   []float64 // normal-equations right-hand side (cols)
+	tmp   []float64 // sharded answer scatter staging
+	ws    linalg.CGWorkspace
+}
+
+// growFloats returns buf resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// NewScratch returns a fresh unpooled release scratch for this mechanism.
+// Callers that release in a loop hold one of these (or use GetScratch /
+// PutScratch to share the mechanism's pool).
+func (m *Mechanism) NewScratch() *ReleaseScratch { return &ReleaseScratch{} }
+
+// GetScratch rents a scratch from the mechanism's pool.
+func (m *Mechanism) GetScratch() *ReleaseScratch {
+	if sc, ok := m.scratch.Get().(*ReleaseScratch); ok {
+		return sc
+	}
+	return &ReleaseScratch{}
+}
+
+// PutScratch returns a rented scratch to the pool. Slices previously
+// returned by the Into entry points become invalid.
+func (m *Mechanism) PutScratch(sc *ReleaseScratch) { m.scratch.Put(sc) }
+
+// EstimateGaussianInto is EstimateGaussian computing through caller-owned
+// scratch: the returned estimate is sc.est, valid until sc is reused. On
+// the dense-pinv and CGLS (tree or iterative, with write-into operators)
+// paths the steady state performs zero allocations.
+func (m *Mechanism) EstimateGaussianInto(sc *ReleaseScratch, x []float64, p Privacy, r NoiseSource) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != m.a.Cols() {
+		return nil, fmt.Errorf("mm: data vector has %d cells, strategy expects %d", len(x), m.a.Cols())
+	}
+	sigma := p.GaussianSigma(m.sensL2)
+	rows := m.a.Rows()
+	sc.y = growFloats(sc.y, rows)
+	m.answersInto(sc.y, x, sc)
+	sc.noise = growFloats(sc.noise, rows)
+	fillNormal(r, sc.noise)
+	for i, n := range sc.noise {
+		sc.y[i] += sigma * n
+	}
+	sc.est = growFloats(sc.est, m.estimateLen())
+	if err := m.inferInto(sc.est, sc.y, sc); err != nil {
+		return nil, err
+	}
+	return sc.est, nil
+}
+
+// EstimateLaplaceInto is the scratch-based EstimateLaplace; the returned
+// estimate is sc.est, valid until sc is reused.
+func (m *Mechanism) EstimateLaplaceInto(sc *ReleaseScratch, x []float64, epsilon float64, r NoiseSource) ([]float64, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("mm: epsilon = %g must be positive", epsilon)
+	}
+	if len(x) != m.a.Cols() {
+		return nil, fmt.Errorf("mm: data vector has %d cells, strategy expects %d", len(x), m.a.Cols())
+	}
+	b := m.SensitivityL1() / epsilon
+	rows := m.a.Rows()
+	sc.y = growFloats(sc.y, rows)
+	m.answersInto(sc.y, x, sc)
+	sc.noise = growFloats(sc.noise, rows)
+	fillLaplace(r, sc.noise, b)
+	for i, n := range sc.noise {
+		sc.y[i] += n
+	}
+	sc.est = growFloats(sc.est, m.estimateLen())
+	if err := m.inferInto(sc.est, sc.y, sc); err != nil {
+		return nil, err
+	}
+	return sc.est, nil
+}
+
+// AnswerGaussianInto is the scratch-based AnswerGaussian; the returned
+// answers are sc.ans, valid until sc is reused.
+func (m *Mechanism) AnswerGaussianInto(sc *ReleaseScratch, w *workload.Workload, x []float64, p Privacy, r NoiseSource) ([]float64, error) {
+	xhat, err := m.EstimateGaussianInto(sc, x, p, r)
+	if err != nil {
+		return nil, err
+	}
+	return m.workloadAnswersInto(sc, w, xhat)
+}
+
+// workloadAnswersInto maps an estimate onto workload answers in sc.ans,
+// mirroring WorkloadAnswers' validation.
+func (m *Mechanism) workloadAnswersInto(sc *ReleaseScratch, w *workload.Workload, xhat []float64) ([]float64, error) {
+	if m.shards == nil {
+		sc.ans = growFloats(sc.ans, w.NumQueries())
+		return w.MulQueriesInto(sc.ans, xhat), nil
+	}
+	if m.planned != nil && w != m.planned {
+		return nil, fmt.Errorf("mm: sharded mechanism answers only the workload it was planned for (%q); answer %q with its own plan",
+			m.planned.Name(), w.Name())
+	}
+	if w.NumQueries() != m.totalShardQueries() {
+		return nil, fmt.Errorf("mm: sharded mechanism answers only its planned workload (%d queries), got one with %d",
+			m.totalShardQueries(), w.NumQueries())
+	}
+	sc.ans = growFloats(sc.ans, m.totalShardQueries())
+	m.shardAnswersInto(sc, sc.ans, xhat)
+	return sc.ans, nil
+}
+
+// answersInto writes the strategy answers A·x into dst, through the tree
+// fast path when the strategy is an interval forest.
+func (m *Mechanism) answersInto(dst, x []float64, sc *ReleaseScratch) {
+	if m.tree != nil {
+		m.tree.AnswerInto(dst, x, &sc.ws)
+		return
+	}
+	linalg.MulVecInto(m.a, dst, x)
+}
+
+// estimateLen is the length of the estimate this mechanism produces:
+// the cell count, except for sharded mechanisms, whose estimate is the
+// concatenation of the per-shard sub-domain estimates.
+func (m *Mechanism) estimateLen() int {
+	if m.shards == nil {
+		return m.a.Cols()
+	}
+	total := 0
+	for _, s := range m.shards {
+		total += s.Mechanism.a.Cols()
+	}
+	return total
+}
+
+// inferInto computes the least-squares estimate x̂ from noisy strategy
+// answers y into dst (length estimateLen) through the mechanism's
+// resolved inference method.
+func (m *Mechanism) inferInto(dst, y []float64, sc *ReleaseScratch) error {
+	switch m.inference {
+	case InferDensePinv:
+		m.apinv.MulVecInto(dst, y)
+		return nil
+	case InferNormalCG:
+		sc.rhs = growFloats(sc.rhs, m.a.Cols())
+		linalg.MulVecTInto(m.a, sc.rhs, y)
+		return linalg.SolveSymCGInto(m.gram, sc.rhs, dst, linalg.CGOptions{}, &sc.ws)
+	case InferSharded:
+		return m.inferShardedInto(dst, y)
+	default:
+		if m.tree != nil {
+			m.tree.SolveLSInto(dst, y, &sc.ws)
+			return nil
+		}
+		return linalg.SolveCGLSInto(m.a, y, dst, linalg.CGOptions{}, &sc.ws)
+	}
+}

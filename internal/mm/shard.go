@@ -187,36 +187,41 @@ func (m *Mechanism) totalShardQueries() int {
 	return total
 }
 
-// inferSharded splits the composite measurement vector by shard and runs
-// each shard's own inference, with bounded parallelism, returning the
-// concatenated sub-domain estimates.
-func (m *Mechanism) inferSharded(y []float64) ([]float64, error) {
-	ests := make([][]float64, len(m.shards))
+// inferShardedInto splits the composite measurement vector by shard and
+// runs each shard's own inference, with bounded parallelism, writing the
+// per-shard sub-domain estimates into their slices of dst. Each shard
+// rents scratch from its own mechanism's pool, so the per-shard solves
+// stay allocation-free; the fan-out itself (goroutines, error slots) is
+// the sharded path's steady-state cost.
+func (m *Mechanism) inferShardedInto(dst, y []float64) error {
 	errs := make([]error, len(m.shards))
 	sem := make(chan struct{}, m.shardPar)
 	var wg sync.WaitGroup
-	at := 0
+	at, estAt := 0, 0
 	for i, s := range m.shards {
-		rows := s.Mechanism.Strategy().Rows()
+		rows := s.Mechanism.a.Rows()
+		cells := s.Mechanism.a.Cols()
 		yi := y[at : at+rows]
+		di := dst[estAt : estAt+cells]
 		at += rows
+		estAt += cells
 		wg.Add(1)
-		go func(i int, s Shard, yi []float64) {
+		go func(i int, sm *Mechanism, yi, di []float64) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ests[i], errs[i] = s.Mechanism.infer(yi)
-		}(i, s, yi)
+			sub := sm.GetScratch()
+			errs[i] = sm.inferInto(di, yi, sub)
+			sm.PutScratch(sub)
+		}(i, s.Mechanism, yi, di)
 	}
 	wg.Wait()
-	var out []float64
-	for i := range ests {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("mm: shard %d inference: %w", i, errs[i])
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mm: shard %d inference: %w", i, err)
 		}
-		out = append(out, ests[i]...)
 	}
-	return out, nil
+	return nil
 }
 
 // shardAnswers turns concatenated sub-domain estimates into the original
@@ -224,16 +229,32 @@ func (m *Mechanism) inferSharded(y []float64) ([]float64, error) {
 // slice and the answers are scattered through the row segments.
 func (m *Mechanism) shardAnswers(xcat []float64) []float64 {
 	out := make([]float64, m.totalShardQueries())
+	sc := m.GetScratch()
+	m.shardAnswersInto(sc, out, xcat)
+	m.PutScratch(sc)
+	return out
+}
+
+// shardAnswersInto is shardAnswers writing into dst. Single-segment
+// shards (cell partitions) answer straight into their destination rows;
+// multi-segment shards stage through the scratch's scatter buffer.
+func (m *Mechanism) shardAnswersInto(sc *ReleaseScratch, dst, xcat []float64) {
 	at := 0
 	for _, s := range m.shards {
 		cells := s.Workload.Cells()
-		ans := s.Workload.MulQueries(xcat[at : at+cells])
+		xs := xcat[at : at+cells]
 		at += cells
+		if len(s.Segments) == 1 {
+			seg := s.Segments[0]
+			s.Workload.MulQueriesInto(dst[seg.Start:seg.Start+seg.Len], xs)
+			continue
+		}
+		sc.tmp = growFloats(sc.tmp, s.Workload.NumQueries())
+		s.Workload.MulQueriesInto(sc.tmp, xs)
 		pos := 0
 		for _, seg := range s.Segments {
-			copy(out[seg.Start:seg.Start+seg.Len], ans[pos:pos+seg.Len])
+			copy(dst[seg.Start:seg.Start+seg.Len], sc.tmp[pos:pos+seg.Len])
 			pos += seg.Len
 		}
 	}
-	return out
 }

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestBatchReleaseAllocBound is the serving-layer allocation regression
+// pin. The mechanism hot path is allocation-free (see mm's zero-alloc
+// test); what remains per batch entry is deliberate bookkeeping — the
+// budget reservation, the per-entry goroutine, the decoded request — and
+// this test fails if that overhead creeps past a small per-entry budget,
+// e.g. if response encoding or noise sourcing starts allocating again.
+func TestBatchReleaseAllocBound(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	drive := func(path string, body []byte, respBody *bytes.Buffer) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		respBody.Reset()
+		rec := &httptest.ResponseRecorder{Code: http.StatusOK, HeaderMap: http.Header{}, Body: respBody}
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	respBody := bytes.NewBuffer(make([]byte, 0, 1<<20))
+
+	designBody, _ := json.Marshal(map[string]any{"workload": "allrange:64"})
+	rec := drive("/design", designBody, respBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("design: status %d: %s", rec.Code, respBody.String())
+	}
+	var design struct {
+		Strategy string `json:"strategy"`
+		Cells    int    `json:"cells"`
+	}
+	if err := json.Unmarshal(respBody.Bytes(), &design); err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]float64, design.Cells)
+	for i := range hist {
+		hist[i] = float64(i % 5)
+	}
+	dsBody, _ := json.Marshal(map[string]any{"name": "alloc", "histogram": hist})
+	if rec := drive("/datasets", dsBody, respBody); rec.Code != http.StatusOK {
+		t.Fatalf("datasets: status %d: %s", rec.Code, respBody.String())
+	}
+
+	const batch = 16
+	items := make([]map[string]any, batch)
+	for i := range items {
+		items[i] = map[string]any{
+			"strategy": design.Strategy, "dataset": "alloc",
+			"epsilon": 1e-4, "delta": 1e-9, "mode": "estimate",
+		}
+	}
+	relBody, _ := json.Marshal(map[string]any{"releases": items, "parallelism": 4})
+
+	// Warm every pool (scratch, noise sources, response buffers).
+	for i := 0; i < 3; i++ {
+		if rec := drive("/release", relBody, respBody); rec.Code != http.StatusOK {
+			t.Fatalf("warm-up release: status %d: %s", rec.Code, respBody.String())
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if rec := drive("/release", relBody, respBody); rec.Code != http.StatusOK {
+			t.Fatalf("release: status %d", rec.Code)
+		}
+	})
+	// Measured steady state is ~9 allocations per entry plus ~20 per
+	// batch for request decoding. The bound leaves headroom for Go
+	// version drift while still catching a per-answer or per-cell
+	// regression (which would add hundreds per entry).
+	const perEntryBudget = 25
+	if perEntry := (allocs - 40) / batch; perEntry > perEntryBudget {
+		t.Fatalf("batch /release allocates %.0f per batch (%.1f per entry), want ≤ %d per entry",
+			allocs, perEntry, perEntryBudget)
+	}
+}

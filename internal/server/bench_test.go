@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchServer builds a server with one designed strategy and one
+// registered dataset, returning the handler, the strategy id and the
+// cell count.
+func benchServer(b *testing.B, spec string) (http.Handler, string, int) {
+	b.Helper()
+	s := New()
+	h := s.Handler()
+
+	post := func(path string, body any) map[string]any {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("%s: status %d: %s", path, rec.Code, rec.Body.String())
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			b.Fatal(err)
+		}
+		return out
+	}
+
+	design := post("/design", map[string]any{"workload": spec})
+	id, _ := design["strategy"].(string)
+	cells := int(design["cells"].(float64))
+	hist := make([]float64, cells)
+	for i := range hist {
+		hist[i] = float64(i % 17)
+	}
+	post("/datasets", map[string]any{"name": "bench", "histogram": hist})
+	return h, id, cells
+}
+
+// BenchmarkBatchRelease measures the batch /release endpoint at the
+// handler level (no network): one op is one batch of 64 estimate-mode
+// releases against a registered dataset. This is the end-to-end serving
+// hot path: mechanism, noise, inference, accounting and JSON encoding.
+func BenchmarkBatchRelease(b *testing.B) {
+	h, id, _ := benchServer(b, "allrange:1024")
+	const batch = 64
+	items := make([]map[string]any, batch)
+	for i := range items {
+		items[i] = map[string]any{
+			"strategy": id, "dataset": "bench",
+			"epsilon": 0.01, "delta": 1e-6, "mode": "estimate",
+		}
+	}
+	body, err := json.Marshal(map[string]any{"releases": items, "parallelism": 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One reused response buffer: a fresh multi-megabyte recorder per
+	// batch would measure buffer growth, which real serving (a socket
+	// write) never pays.
+	respBody := bytes.NewBuffer(make([]byte, 0, 4<<20))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/release", bytes.NewReader(body))
+		respBody.Reset()
+		rec := &httptest.ResponseRecorder{Code: http.StatusOK, HeaderMap: http.Header{}, Body: respBody}
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		relPerSec := float64(batch) / (float64(b.Elapsed().Nanoseconds()) / float64(b.N) / 1e9)
+		b.ReportMetric(relPerSec, "releases/s")
+	}
+}
+
+// BenchmarkAnswerRelease measures the single-release /answer endpoint,
+// estimate mode, per release.
+func BenchmarkAnswerRelease(b *testing.B) {
+	h, id, _ := benchServer(b, "allrange:1024")
+	body, err := json.Marshal(map[string]any{
+		"strategy": id, "dataset": "bench",
+		"epsilon": 0.01, "delta": 1e-6, "mode": "estimate",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/answer", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+var sinkBytes []byte
+
+// BenchmarkEncodeAnswers isolates the response-encoding cost of one
+// 1024-value answer body through the pooled hand-rolled encoder.
+func BenchmarkEncodeAnswers(b *testing.B) {
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = 1234.56789 * float64(i+1) / 3.0
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := getBuf()
+		*buf = appendFloats(*buf, vals)
+		sinkBytes = *buf
+		putBuf(buf)
+	}
+}

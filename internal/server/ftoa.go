@@ -1,0 +1,158 @@
+// Fast float64 → JSON number conversion for the release hot path.
+//
+// strconv's shortest-representation search (Ryu) costs ~90ns per value
+// on the serving hardware; at a thousand noisy answers per release it is
+// the single largest item in the release budget. Noisy answers occupy
+// all 52 mantissa bits, so their shortest representation is ~17
+// significant digits anyway — the search buys nothing. appendFloat17
+// instead always emits exactly 17 significant digits in scientific
+// notation, computed by one double-double division against a prebuilt
+// 10^k table: 17 significant digits are always sufficient for a
+// float64 to round-trip, so the wire value parses back to the identical
+// bits (pinned by TestAppendFloatRoundTrip against strconv.ParseFloat).
+//
+// The emitted digit string d satisfies |d·10^k − f| ≤ 0.51·10^k·ulp-grid
+// versus the ≤ 0.5 of perfectly rounded digits; round-tripping tolerates
+// anything below ~1.11 (the worst-case ratio of the decimal grid to half
+// a binary ulp just above a power of two), so the slack is safe by a
+// wide margin.
+
+package server
+
+import (
+	"encoding/binary"
+	"math"
+	"math/big"
+)
+
+// pow10 double-double table: pow10hi[i] + pow10lo[i] ≈ 10^(i+pow10Min)
+// to ~106 bits. appendFloat17 only serves |f| within [1e-270, 1e300]
+// (below ~1e-275 the table's lo words go subnormal and the 106-bit
+// precision collapses — strconv covers those extremes); the table's
+// slack beyond the served band covers the ±1 exponent-estimate
+// correction steps.
+const (
+	pow10Min = -330
+	pow10Max = 310
+)
+
+var (
+	pow10hi [pow10Max - pow10Min + 1]float64
+	pow10lo [pow10Max - pow10Min + 1]float64
+
+	// digitPairs is "00010203...9899": two ASCII digits per value < 100.
+	digitPairs [200]byte
+	// pairs16 is the same table as little-endian 2-byte words, so eight
+	// digits assemble into one uint64 store.
+	pairs16 [100]uint16
+)
+
+func init() {
+	ten := new(big.Float).SetPrec(200).SetInt64(10)
+	v := new(big.Float).SetPrec(200).SetInt64(1)
+	for k := 0; k > pow10Min; k-- {
+		v.Quo(v, ten)
+	}
+	for i := range pow10hi {
+		hi, _ := v.Float64()
+		pow10hi[i] = hi
+		lo := new(big.Float).SetPrec(200).Sub(v, new(big.Float).SetFloat64(hi))
+		pow10lo[i], _ = lo.Float64()
+		v.Mul(v, ten)
+	}
+	for i := 0; i < 100; i++ {
+		digitPairs[2*i] = byte('0' + i/10)
+		digitPairs[2*i+1] = byte('0' + i%10)
+		pairs16[i] = uint16('0'+i/10) | uint16('0'+i%10)<<8
+	}
+}
+
+// appendFloat17 appends f — finite, nonzero, with 1e-270 ≤ |f| ≤ 1e300 —
+// as a JSON number with 17 significant digits in scientific notation.
+func appendFloat17(b []byte, f float64) []byte {
+	if f < 0 {
+		b = append(b, '-')
+		f = -f
+	}
+	// Estimate the decimal exponent from the binary one (within ±1:
+	// 78913/2^18 ≈ log10 2); the scaling loop below corrects it.
+	e2 := int(math.Float64bits(f)>>52) - 1023
+	e10 := (e2 * 78913) >> 18
+	for {
+		// Target d = round(f / 10^(e10-16)) ∈ [10^16, 10^17): exactly 17
+		// digits. The quotient against the double-double 10^k is q0 plus
+		// a residual correction delta recovered with two FMAs; |delta| is
+		// a handful of units, and the correction's own error is ≪ 0.01,
+		// well inside the 0.51-total-slack budget.
+		j := e10 - 16 - pow10Min
+		phi, plo := pow10hi[j], pow10lo[j]
+		q0 := f / phi
+		if q0 < 9.9e15 {
+			e10--
+			continue
+		}
+		if q0 >= 1.01e17 {
+			e10++
+			continue
+		}
+		r := math.FMA(-q0, phi, f)
+		r = math.FMA(-q0, plo, r)
+		delta := r / phi
+		// Round delta (a handful of units either sign) to the nearest
+		// integer by the 2^52+2^51 magic-add trick: the sum's ulp is 1,
+		// so the hardware's round-to-nearest does the rounding and the
+		// result differs from the constant by round(delta) mantissa bits.
+		const magic = float64(1<<52 + 1<<51)
+		di := int64(math.Float64bits(delta+magic) - math.Float64bits(magic))
+		// q0 ≥ 9.9e15 > 2^53, so q0 is an exact integer.
+		d := uint64(q0) + uint64(di)
+		if d < 1e16 {
+			e10--
+			continue
+		}
+		if d >= 1e17 {
+			// Includes the rollover d == 10^17 (f just under a power of
+			// ten); rescaling yields d = 10^16 exactly.
+			e10++
+			continue
+		}
+		return emit17(b, d, e10)
+	}
+}
+
+// emit17 appends "D.DDDDDDDDDDDDDDDDe±EE" for d ∈ [10^16, 10^17).
+func emit17(b []byte, d uint64, e10 int) []byte {
+	var buf [24]byte
+	buf[0] = byte(d/1e16) + '0'
+	buf[1] = '.'
+	rem := d % 1e16
+	put8(buf[2:10], uint32(rem/1e8))
+	put8(buf[10:18], uint32(rem%1e8))
+	buf[18] = 'e'
+	n := 19
+	if e10 < 0 {
+		buf[n] = '-'
+		e10 = -e10
+	} else {
+		buf[n] = '+'
+	}
+	n++
+	if e10 >= 100 {
+		buf[n] = byte('0' + e10/100)
+		n++
+		e10 %= 100
+	}
+	buf[n] = digitPairs[2*e10]
+	buf[n+1] = digitPairs[2*e10+1]
+	return append(b, buf[:n+2]...)
+}
+
+// put8 writes v < 10^8 as eight ASCII digits with one 8-byte store.
+func put8(dst []byte, v uint32) {
+	a, c := v/10000, v%10000
+	u := uint64(pairs16[a/100]) |
+		uint64(pairs16[a%100])<<16 |
+		uint64(pairs16[c/100])<<32 |
+		uint64(pairs16[c%100])<<48
+	binary.LittleEndian.PutUint64(dst, u)
+}

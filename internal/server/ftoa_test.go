@@ -1,0 +1,95 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// roundTrip pushes one value through the hot-path encoder and back
+// through the standard parser, failing unless the bits survive.
+func roundTrip(t *testing.T, f float64) {
+	t.Helper()
+	out := appendFloat(nil, f)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		if string(out) != "null" {
+			t.Fatalf("appendFloat(%v) = %q, want null", f, out)
+		}
+		return
+	}
+	back, err := strconv.ParseFloat(string(out), 64)
+	if err != nil {
+		t.Fatalf("appendFloat(%v) = %q does not parse: %v", f, out, err)
+	}
+	if math.Float64bits(back) != math.Float64bits(f) {
+		t.Fatalf("appendFloat(%v) = %q parses to %v: bits %x != %x",
+			f, out, back, math.Float64bits(back), math.Float64bits(f))
+	}
+	// The emitted text must also be a legal JSON number.
+	var v float64
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatalf("appendFloat(%v) = %q is not valid JSON: %v", f, out, err)
+	}
+}
+
+// TestAppendFloatRoundTrip is the correctness pin for the fast float
+// emitter: every finite float64 it serves must parse back bit-identical.
+func TestAppendFloatRoundTrip(t *testing.T) {
+	// Hand-picked hard cases: signed zeros, powers of ten and two (and
+	// their neighbors, where the decimal grid is coarsest relative to the
+	// binary one), subnormals, extremes, halfway-looking values.
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, -0.1, 0.5, 2.0 / 3.0,
+		math.Pi, -math.E, 1e15, 1e15 + 1, 1e16, 1e17, 1e22, 1e23,
+		1e-300, 1e300, 1.0000000000000002, 9.999999999999998e16,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 5e-324, 2.2250738585072014e-308,
+		1797.6931348623157, 123456.78901234567, math.NaN(), math.Inf(1), math.Inf(-1),
+	}
+	for e := -310; e <= 310; e++ {
+		p := math.Pow(10, float64(e))
+		cases = append(cases, p, math.Nextafter(p, 0), math.Nextafter(p, math.Inf(1)))
+	}
+	for e := -1022; e <= 1023; e += 7 {
+		p := math.Ldexp(1, e)
+		cases = append(cases, p, math.Nextafter(p, 0), math.Nextafter(p, math.Inf(1)))
+	}
+	for _, f := range cases {
+		roundTrip(t, f)
+		roundTrip(t, -f)
+	}
+
+	// Random bit patterns cover the whole representable range, including
+	// the strconv fallback band and subnormals.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500000; i++ {
+		f := math.Float64frombits(r.Uint64())
+		roundTrip(t, f)
+	}
+	// Random "release-like" values: noisy magnitudes the server actually
+	// serves.
+	for i := 0; i < 200000; i++ {
+		f := r.NormFloat64() * math.Pow(10, float64(r.Intn(13)-6))
+		roundTrip(t, f)
+	}
+}
+
+// TestAppendFloatsShape pins the array framing and the integer fast path.
+func TestAppendFloatsShape(t *testing.T) {
+	got := string(appendFloats(nil, []float64{1, -2, 0, 0.5}))
+	want := `[1,-2,0,5.0000000000000000e-01]`
+	if got != want {
+		t.Fatalf("appendFloats = %q, want %q", got, want)
+	}
+	if got := string(appendFloats(nil, nil)); got != "[]" {
+		t.Fatalf("appendFloats(nil) = %q, want []", got)
+	}
+	var back []float64
+	if err := json.Unmarshal(appendFloats(nil, []float64{math.Pi, 1e-9}), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != math.Pi || back[1] != 1e-9 {
+		t.Fatalf("decoded %v", back)
+	}
+}

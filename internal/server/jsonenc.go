@@ -1,0 +1,83 @@
+// Pooled hand-rolled JSON encoding for the release hot path.
+//
+// encoding/json renders a []float64 through reflection at roughly a
+// microsecond per handful of values; at a thousand full-precision floats
+// per release the encoder, not the mechanism, dominates serving cost.
+// The release responses are numeric-only on their success path (answers,
+// budgets, counters), so they are assembled by hand with
+// strconv.AppendFloat into buffers recycled through a sync.Pool — no
+// reflection, no intermediate allocations, one Write per response.
+// Anything carrying client-influenced strings (error messages) still goes
+// through encoding/json for correct escaping; those paths are cold.
+
+package server
+
+import (
+	"math"
+	"strconv"
+	"sync"
+)
+
+// maxPooledBuf is the largest response buffer returned to the pool.
+// A full batch near the aggregate answer cap encodes to tens of
+// megabytes; keeping such outliers pooled would pin their memory for the
+// server's lifetime.
+const maxPooledBuf = 4 << 20
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// getBuf rents an empty byte buffer from the pool.
+func getBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// putBuf returns a buffer to the pool, dropping oversized outliers.
+func putBuf(b *[]byte) {
+	if cap(*b) <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
+
+// appendFloat appends one JSON number that parses back to the identical
+// float64: integers verbatim, typical magnitudes through the fast
+// 17-significant-digit emitter (see ftoa.go), extreme magnitudes through
+// strconv. Non-finite values (which no valid release yields) become
+// null, since JSON has no literal for them.
+func appendFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		if f == 0 && math.Signbit(f) {
+			return append(b, '-', '0')
+		}
+		return strconv.AppendInt(b, int64(f), 10)
+	}
+	if a := math.Abs(f); a >= 1e-270 && a <= 1e300 {
+		return appendFloat17(b, f)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// appendFloats appends a JSON array of numbers.
+func appendFloats(b []byte, v []float64) []byte {
+	b = append(b, '[')
+	for i, f := range v {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendFloat(b, f)
+	}
+	return append(b, ']')
+}
+
+// appendBudget appends a Budget in its wire form.
+func appendBudget(b []byte, v Budget) []byte {
+	b = append(b, `{"epsilon":`...)
+	b = appendFloat(b, v.Epsilon)
+	b = append(b, `,"delta":`...)
+	b = appendFloat(b, v.Delta)
+	return append(b, '}')
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"adaptivemm/internal/accountant"
@@ -60,11 +61,32 @@ func releaseErrorf(code int, format string, args ...any) *releaseError {
 	return &releaseError{code: code, msg: fmt.Sprintf(format, args...)}
 }
 
+// releaseOut carries one successful release's answers, which live in a
+// scratch rented from the mechanism's pool. The handler encodes the
+// answers and then calls done() to return the scratch; holding the
+// scratch until encoding is what keeps the hot path free of a per-release
+// answer copy.
+type releaseOut struct {
+	ans  []float64
+	sc   *mm.ReleaseScratch
+	mech *mm.Mechanism
+}
+
+// done returns the scratch to its mechanism's pool. The answers are
+// invalid afterwards. Safe to call more than once.
+func (o *releaseOut) done() {
+	if o.sc != nil {
+		o.mech.PutScratch(o.sc)
+		o.sc = nil
+		o.ans = nil
+	}
+}
+
 // release runs one differentially private release end to end: validate,
 // resolve the dataset, reserve budget, draw noise, infer, and commit (or
 // refund on failure). It is the /answer entry point; the batch path calls
 // releaseWith directly with its strategy snapshot.
-func (s *Server) release(req *answerRequest) ([]float64, Budget, *releaseError) {
+func (s *Server) release(req *answerRequest) (releaseOut, Budget, *releaseError) {
 	s.mu.RLock()
 	ent := s.strategies[req.Strategy]
 	s.mu.RUnlock()
@@ -74,19 +96,19 @@ func (s *Server) release(req *answerRequest) ([]float64, Budget, *releaseError) 
 // releaseWith is the shared release core. ent is the caller's resolution
 // of req.Strategy (nil for unknown): the batch path passes its snapshot so
 // the aggregate payload pre-check and execution share one source of truth.
-func (s *Server) releaseWith(req *answerRequest, ent *entry) ([]float64, Budget, *releaseError) {
+func (s *Server) releaseWith(req *answerRequest, ent *entry) (releaseOut, Budget, *releaseError) {
 	if req.Dataset == "" {
-		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "dataset name required for budget accounting")
+		return releaseOut{}, Budget{}, releaseErrorf(http.StatusBadRequest, "dataset name required for budget accounting")
 	}
 	if req.Mode != "" && req.Mode != "answers" && req.Mode != "estimate" {
-		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "mode %q not recognized (want answers or estimate)", req.Mode)
+		return releaseOut{}, Budget{}, releaseErrorf(http.StatusBadRequest, "mode %q not recognized (want answers or estimate)", req.Mode)
 	}
 	p := mm.Privacy{Epsilon: req.Epsilon, Delta: req.Delta}
 	if err := p.Validate(); err != nil {
-		return nil, Budget{}, releaseErrorf(http.StatusBadRequest, "%v", err)
+		return releaseOut{}, Budget{}, releaseErrorf(http.StatusBadRequest, "%v", err)
 	}
 	if ent == nil {
-		return nil, Budget{}, releaseErrorf(http.StatusNotFound, "unknown strategy %q", req.Strategy)
+		return releaseOut{}, Budget{}, releaseErrorf(http.StatusNotFound, "unknown strategy %q", req.Strategy)
 	}
 	// Both modes share one response payload cap: m answers or n estimate
 	// cells, either can be the oversized one.
@@ -95,11 +117,11 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) ([]float64, Budget,
 			// A sharded plan estimates per-shard sub-histograms, not the
 			// n-cell joint histogram (for marginal blocks the joint is never
 			// measured); the honest payload is the workload answers.
-			return nil, Budget{}, releaseErrorf(http.StatusUnprocessableEntity,
+			return releaseOut{}, Budget{}, releaseErrorf(http.StatusUnprocessableEntity,
 				"strategy %q is sharded and has no single joint histogram estimate; request mode \"answers\" instead", req.Strategy)
 		}
 		if ent.plan.Workload.Cells() > maxAnswerRows {
-			return nil, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
+			return releaseOut{}, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
 				"histogram estimate has %d cells, past the %d-value response cap; a domain this large cannot be released over HTTP — use the library API",
 				ent.plan.Workload.Cells(), maxAnswerRows)
 		}
@@ -109,14 +131,14 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) ([]float64, Budget,
 		if ent.plan.Workload.Cells() <= maxAnswerRows {
 			hint = "; request mode \"estimate\" instead"
 		}
-		return nil, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
+		return releaseOut{}, Budget{}, releaseErrorf(http.StatusRequestEntityTooLarge,
 			"workload has %d queries, past the %d-answer response cap%s",
 			ent.plan.Workload.NumQueries(), maxAnswerRows, hint)
 	}
 
 	hist, acctName, res, rerr := s.resolveAndReserve(req, ent, p)
 	if rerr != nil {
-		return nil, Budget{}, rerr
+		return releaseOut{}, Budget{}, rerr
 	}
 	// Settle by defer: Refund after Commit is a no-op, and a panic in the
 	// mechanism can never leak a reservation that would permanently shrink
@@ -124,27 +146,38 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) ([]float64, Budget,
 	defer res.Refund()
 
 	// Noise: deterministic only when the request pins a seed; the default
-	// is a crypto-seeded source, so "unseeded" releases are unpredictable
-	// across requests and across server restarts.
+	// is a pooled crypto source, so "unseeded" releases are unpredictable
+	// across requests and across server restarts while the hot path skips
+	// per-release source construction.
 	var noise mm.NoiseSource
+	var cs *mm.CryptoSource
 	if req.Seed != nil {
 		noise = rand.New(rand.NewSource(*req.Seed))
 	} else {
-		noise = mm.NewCryptoSeededSource()
+		cs = mm.AcquireCryptoSource()
+		noise = cs
 	}
+	defer func() {
+		if cs != nil {
+			mm.ReleaseCryptoSource(cs)
+		}
+	}()
 
+	mech := ent.plan.Mechanism
+	sc := mech.GetScratch()
 	var ans []float64
 	var err error
 	if req.Mode == "estimate" {
-		ans, err = ent.plan.Mechanism.EstimateGaussian(hist, p, noise)
+		ans, err = mech.EstimateGaussianInto(sc, hist, p, noise)
 	} else {
-		ans, err = ent.plan.Mechanism.AnswerGaussian(ent.plan.Workload, hist, p, noise)
+		ans, err = mech.AnswerGaussianInto(sc, ent.plan.Workload, hist, p, noise)
 	}
 	if err != nil {
-		return nil, Budget{}, releaseErrorf(http.StatusUnprocessableEntity, "%v", err)
+		mech.PutScratch(sc)
+		return releaseOut{}, Budget{}, releaseErrorf(http.StatusUnprocessableEntity, "%v", err)
 	}
 	res.Commit()
-	return ans, fromAcct(s.acct.Spent(acctName)), nil
+	return releaseOut{ans: ans, sc: sc, mech: mech}, fromAcct(s.acct.Spent(acctName)), nil
 }
 
 // resolveAndReserve resolves the request's histogram and reserves its
@@ -228,12 +261,25 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	ans, ledger, rerr := s.release(&req)
+	out, ledger, rerr := s.release(&req)
 	if rerr != nil {
 		writeReleaseError(w, rerr)
 		return
 	}
-	writeJSON(w, answerResponse{Answers: ans, Ledger: ledger})
+	// The success body is numeric-only, so it is hand-encoded into a
+	// pooled buffer (see jsonenc.go) and written once, with the scratch
+	// held until the answers are serialized.
+	b := getBuf()
+	*b = append(*b, `{"answers":`...)
+	*b = appendFloats(*b, out.ans)
+	*b = append(*b, `,"ledger":`...)
+	*b = appendBudget(*b, ledger)
+	*b = append(*b, '}', '\n')
+	out.done()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(*b)))
+	_, _ = w.Write(*b)
+	putBuf(b)
 }
 
 // writeReleaseError writes the error with the remaining budget attached
@@ -346,6 +392,9 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 
 	results := make([]batchResult, len(req.Releases))
+	// Successful entries keep their answers in mechanism-pool scratch
+	// until the response is encoded; outs[i] owns entry i's scratch.
+	outs := make([]releaseOut, len(req.Releases))
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, item := range req.Releases {
@@ -370,7 +419,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 						Error: fmt.Sprintf("internal error: %v", r)}
 				}
 			}()
-			ans, ledger, rerr := s.releaseWith(&answerRequest{
+			out, ledger, rerr := s.releaseWith(&answerRequest{
 				Strategy: item.Strategy,
 				Dataset:  item.Dataset,
 				Epsilon:  item.Epsilon,
@@ -382,18 +431,57 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 				results[i] = batchResult{Index: i, Status: rerr.code, Error: rerr.msg, Remaining: rerr.remaining}
 				return
 			}
-			results[i] = batchResult{Index: i, Status: http.StatusOK, Answers: ans, Ledger: &ledger}
+			outs[i] = out
+			results[i] = batchResult{Index: i, Status: http.StatusOK, Ledger: &ledger}
 		}(i, item)
 	}
 	wg.Wait()
 
-	resp := batchResponse{Results: results}
+	var succeeded, failed int
 	for _, res := range results {
 		if res.Status == http.StatusOK {
-			resp.Succeeded++
+			succeeded++
 		} else {
-			resp.Failed++
+			failed++
 		}
 	}
-	writeJSON(w, resp)
+
+	// Encode the whole batch into one pooled buffer and write it once.
+	// Successful entries are numeric-only and hand-encoded; failed entries
+	// carry error strings and go through encoding/json for escaping (they
+	// are off the hot path by definition). Each entry's scratch goes back
+	// to its mechanism's pool as soon as its answers are serialized.
+	b := getBuf()
+	*b = append(*b, `{"results":[`...)
+	for i := range results {
+		if i > 0 {
+			*b = append(*b, ',')
+		}
+		if results[i].Status == http.StatusOK {
+			*b = append(*b, `{"index":`...)
+			*b = strconv.AppendInt(*b, int64(i), 10)
+			*b = append(*b, `,"status":200,"answers":`...)
+			*b = appendFloats(*b, outs[i].ans)
+			*b = append(*b, `,"ledger":`...)
+			*b = appendBudget(*b, *results[i].Ledger)
+			*b = append(*b, '}')
+			outs[i].done()
+			continue
+		}
+		enc, err := json.Marshal(&results[i])
+		if err != nil {
+			// Unreachable for these field types; keep the body well-formed.
+			enc = []byte(`{"index":` + strconv.Itoa(i) + `,"status":500,"error":"encoding failed"}`)
+		}
+		*b = append(*b, enc...)
+	}
+	*b = append(*b, `],"succeeded":`...)
+	*b = strconv.AppendInt(*b, int64(succeeded), 10)
+	*b = append(*b, `,"failed":`...)
+	*b = strconv.AppendInt(*b, int64(failed), 10)
+	*b = append(*b, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(*b)))
+	_, _ = w.Write(*b)
+	putBuf(b)
 }

@@ -149,6 +149,15 @@ func (w *Workload) MulQueries(x []float64) []float64 {
 	return w.op.MulVec(x)
 }
 
+// MulQueriesInto is MulQueries writing into a caller-owned buffer of
+// length NumQueries — the release hot path's spelling. It returns dst.
+func (w *Workload) MulQueriesInto(dst, x []float64) []float64 {
+	if w.op == nil {
+		panic(fmt.Sprintf("workload: %q is gram-only and cannot be answered on data", w.name))
+	}
+	return linalg.MulVecInto(w.op, dst, x)
+}
+
 // Gram returns WᵀW, computing and caching it on first use: from the
 // Kronecker gram factors when the workload has product form, from the
 // operator's analytic Gram when it has one, or from the dense rows.
