@@ -1,0 +1,139 @@
+// Command amlint runs the engine's static-analysis suite — the
+// mechanized form of the privacy, budget and pooling invariants the
+// codebase's correctness arguments rest on. CI runs it as a required
+// job; a finding is a build failure.
+//
+//	amlint [-analyzers noiserand,budgetsettle,...] [-list] [packages]
+//
+// Packages default to ./... (every package under the current module,
+// testdata excluded). Each finding prints as
+//
+//	file:line:col: [analyzer] message
+//
+// and the exit status is 1 when any finding survives. Intentional
+// exceptions are annotated in the source with
+//
+//	//lint:allow <reason>
+//
+// on (or directly above) the flagged line; the reason is mandatory. See
+// docs/STATIC_ANALYSIS.md for each analyzer's invariant, the past bug
+// that motivated it, and when suppression is acceptable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adaptivemm/internal/analysis"
+)
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amlint:", err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amlint:", err)
+		os.Exit(2)
+	}
+	dirs, err := expandPatterns(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amlint:", err)
+		os.Exit(2)
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amlint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amlint:", err)
+			os.Exit(2)
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "amlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot finds the nearest directory holding go.mod at or above the
+// working directory.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod at or above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves command-line package arguments: "./..." (or no
+// arguments) walks the module; anything else is a package directory.
+func expandPatterns(root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return analysis.PackageDirs(root)
+	}
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			walked, err := analysis.PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, walked...)
+			continue
+		}
+		if rest, ok := strings.CutSuffix(a, "/..."); ok {
+			walked, err := analysis.PackageDirs(filepath.Join(root, rest))
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, walked...)
+			continue
+		}
+		dirs = append(dirs, a)
+	}
+	return dirs, nil
+}

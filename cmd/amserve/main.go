@@ -114,7 +114,9 @@ func main() {
 	select {
 	case err := <-errCh:
 		// Listener failed outright; still flush whatever was queued.
-		srv.Close()
+		if cerr := srv.Close(); cerr != nil {
+			log.Printf("amserve: flushing plan store: %v", cerr)
+		}
 		log.Fatal(err)
 	case <-ctx.Done():
 	}

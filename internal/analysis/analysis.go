@@ -1,0 +1,219 @@
+// Package analysis is the engine's static-analysis suite: a small,
+// dependency-free framework in the shape of golang.org/x/tools/go/analysis
+// plus the analyzers that mechanize the invariants this codebase's
+// correctness arguments rest on — invariants the compiler cannot see and
+// that were historically caught (or missed) in hand review:
+//
+//   - noiserand: release noise must come from a CSPRNG-backed NoiseSource;
+//     math/rand and wall-clock seeding are forbidden in production
+//     packages (PR 2 shipped a predictable-seed privacy bug).
+//   - budgetsettle: every accountant.Reserve must be settled
+//     (Commit/Refund) on all control-flow paths, including panics —
+//     leaked reservations permanently shrink a dataset's budget.
+//   - poolescape: values rented from pools (release scratch, crypto
+//     sources, response buffers, solver workspaces) must be returned on
+//     every path and must not outlive the release that rented them.
+//   - floateq: no ==/!= on floating-point operands outside tolerance
+//     helpers and exact-zero sentinel checks.
+//   - intoalias: write-into kernels (MulVecInto and friends) must not be
+//     called with a destination that provably aliases an input.
+//
+// The framework mirrors the x/tools API (Analyzer, Pass, Diagnostic, a
+// testdata/src fixture runner with "// want" comments) so the analyzers
+// could be ported to a real multichecker verbatim; it is implemented on
+// go/parser and go/types only, because this module deliberately has no
+// external dependencies.
+//
+// Suppression. A finding that is intentional is silenced with the escape
+// hatch
+//
+//	expr //lint:allow <reason>
+//
+// on the flagged line (or on the line directly above it). The reason is
+// mandatory: an allow without one is itself a diagnostic. Suppressions
+// are the documented exceptions to an invariant — docs/STATIC_ANALYSIS.md
+// explains when each is acceptable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, in the shape of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the amlint
+	// command line.
+	Name string
+	// Doc is a one-paragraph description: the invariant the analyzer
+	// encodes and why it is load-bearing.
+	Doc string
+	// Run reports the analyzer's findings on one package through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirective is the suppression escape hatch. The reason after the
+// directive is mandatory.
+const allowDirective = "//lint:allow"
+
+// suppression is one //lint:allow comment: it silences diagnostics on its
+// own line and on the line directly below it (the comment-above form).
+type suppression struct {
+	file   string
+	line   int
+	reason string
+	pos    token.Pos
+}
+
+// collectSuppressions finds every //lint:allow directive in the package.
+// Directives with an empty reason are reported as findings themselves:
+// the escape hatch exists to *document* exceptions, not to hide them.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) []suppression {
+	var sups []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowedsomething — not the directive
+				}
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(rest)
+				if reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "lintallow",
+						Pos:      pos,
+						Message:  "//lint:allow needs a reason: say why the invariant does not apply here",
+					})
+					continue
+				}
+				sups = append(sups, suppression{file: pos.Filename, line: pos.Line, reason: reason, pos: c.Pos()})
+			}
+		}
+	}
+	return sups
+}
+
+// Run runs the analyzers over one loaded package and returns the
+// surviving diagnostics, sorted by position. Findings on a line holding
+// (or directly below) a //lint:allow directive are suppressed; an allow
+// directive without a reason is itself a finding.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sups := collectSuppressions(pkg.Fset, pkg.Files, &diags)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, sups) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos.Filename != kept[j].Pos.Filename {
+			return kept[i].Pos.Filename < kept[j].Pos.Filename
+		}
+		if kept[i].Pos.Line != kept[j].Pos.Line {
+			return kept[i].Pos.Line < kept[j].Pos.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+func suppressed(d Diagnostic, sups []suppression) bool {
+	if d.Analyzer == "lintallow" {
+		return false // missing-reason findings cannot be allowed away
+	}
+	for _, s := range sups {
+		if s.file == d.Pos.Filename && (s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{NoiseRand, BudgetSettle, PoolEscape, FloatEq, IntoAlias}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(analyzerNames(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}

@@ -1,0 +1,200 @@
+// The fixture runner: the analysis suite's equivalent of
+// golang.org/x/tools/go/analysis/analysistest. Fixture packages live
+// under testdata/src/<import path>/ (GOPATH-style, served through the
+// loader's Overlay so a fixture can sit at a path the analyzers treat as
+// production, e.g. adaptivemm/internal/mm/badnoise) and annotate the
+// lines where diagnostics are expected:
+//
+//	rand.New(rand.NewSource(...)) // want `wall-clock-derived seed`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that
+// must match exactly one diagnostic on that line; diagnostics without a
+// matching want, and wants without a matching diagnostic, fail the test.
+// Fixtures import the real production packages (accountant, mm), so they
+// also prove the acceptance criterion directly: re-introducing PR 2's
+// math/rand seeding or leaking a reservation fails the lint build.
+
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureLoader is shared across fixture tests so the production packages
+// and their standard-library dependencies type-check once per test run.
+var fixtureLoader = sync.OnceValues(func() (*Loader, error) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		return nil, err
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	overlay, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		return nil, err
+	}
+	l.Overlay = overlay
+	return l, nil
+})
+
+// expectation is one quoted regexp from a // want comment.
+type expectation struct {
+	re      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+// wantArg matches one backquoted or double-quoted string.
+var wantArg = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses the // want comments of the fixture package into a
+// (file base name, line) → expectations map.
+func collectWants(t *testing.T, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey(pos.Filename, pos.Line)
+				args := wantArg.FindAllString(rest, -1)
+				if len(args) == 0 {
+					t.Errorf("%s: want comment with no quoted pattern", pos)
+				}
+				for _, a := range args {
+					pat := strings.Trim(a, "`")
+					if a[0] == '"' {
+						unq, err := strconv.Unquote(a)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %s: %v", pos, a, err)
+							continue
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re, text: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func wantKey(filename string, line int) string {
+	return filepath.Base(filename) + ":" + strconv.Itoa(line)
+}
+
+// runFixture loads the fixture package at path and checks the analyzers'
+// diagnostics against its // want comments.
+func runFixture(t *testing.T, path string, analyzers ...*Analyzer) {
+	t.Helper()
+	l, err := fixtureLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		exps := wants[wantKey(d.Pos.Filename, d.Pos.Line)]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, e.text)
+			}
+		}
+	}
+}
+
+func TestNoiseRandFixture(t *testing.T) {
+	// The fixture sits under the mm production prefix via the overlay: this
+	// is exactly PR 2's bug re-introduced, and it must fail the lint build.
+	runFixture(t, "adaptivemm/internal/mm/badnoise", NoiseRand)
+}
+
+func TestNoiseRandExemptFixture(t *testing.T) {
+	// examples/ is exempt: deterministic streams are the point there.
+	runFixture(t, "adaptivemm/examples/noiseok", NoiseRand)
+}
+
+func TestBudgetSettleFixture(t *testing.T) {
+	runFixture(t, "budgetfixture", BudgetSettle)
+}
+
+func TestPoolEscapeFixture(t *testing.T) {
+	runFixture(t, "poolfixture", PoolEscape)
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	runFixture(t, "floatfixture", FloatEq)
+}
+
+func TestIntoAliasFixture(t *testing.T) {
+	runFixture(t, "intofixture", IntoAlias)
+}
+
+// TestLintAllowFixture pins the escape hatch's exact semantics, which the
+// want-comment form cannot express (an allow directive and a want comment
+// cannot share a line): a reasoned allow suppresses the finding on its
+// line and the line below, a bare allow suppresses nothing and is itself
+// a finding, and lintallow findings cannot be allowed away.
+func TestLintAllowFixture(t *testing.T) {
+	l, err := fixtureLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("lintallowfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{FloatEq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+":"+strconv.Itoa(d.Pos.Line))
+	}
+	// Line numbers are pinned by testdata/src/lintallowfixture/lintallow.go:
+	// the suppressed comparison (line 9) must be absent, the bare allow
+	// (line 12) must report itself, and the comparison it failed to
+	// suppress (line 13) plus the unannotated one (line 16) must survive.
+	want := []string{"lintallow:12", "floateq:13", "floateq:16"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got diagnostics %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,106 @@
+// The floateq analyzer. The engine's numerical contracts are tolerance
+// contracts — CGLS converges to 1e-8, error analyses match to round-off —
+// so == and != on floating-point operands are almost always a latent bug:
+// they silently become "never equal" after any reordering of a sum.
+// The analyzer forbids them outside three deliberate idioms:
+//
+//   - comparison against an exact-zero constant (sentinel and
+//     skip-work checks: `if w == 0 { continue }` is exact arithmetic);
+//   - self-comparison (`x != x` is the NaN test);
+//   - bodies of named tolerance helpers (FloatEqToleranceFuncs), whose
+//     whole point is to implement the comparison once.
+//
+// Anything else that genuinely wants bit-exact semantics (the float
+// emitter's integer fast path, round-trip pinning) documents itself with
+// //lint:allow.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqToleranceFuncs names functions allowed to compare floats
+// exactly: the tolerance helpers themselves and equality kernels whose
+// contract is bit-exactness.
+var FloatEqToleranceFuncs = map[string]bool{
+	"approxEqual": true,
+	"almostEqual": true,
+	"withinTol":   true,
+	"floatsEqual": true,
+}
+
+// FloatEq forbids ==/!= on floating-point operands outside tolerance
+// helpers and exact-zero checks.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "no ==/!= on floating-point operands outside tolerance helpers, exact-zero sentinel checks " +
+		"and the x != x NaN test; use a tolerance or document exact semantics with //lint:allow",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Track the enclosing named function so tolerance helpers can be
+		// exempted wholesale.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if FloatEqToleranceFuncs[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloatOperand(pass, be.X) && !isFloatOperand(pass, be.Y) {
+					return true
+				}
+				if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+					return true
+				}
+				if exprString(be.X) == exprString(be.Y) {
+					return true // x != x: the NaN test
+				}
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison: use a tolerance, or //lint:allow with why exact equality is correct here",
+					be.Op)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isFloatOperand reports whether e has floating-point type (including
+// untyped float constants).
+func isFloatOperand(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a constant with value exactly zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	return constant.Sign(v) == 0
+}

@@ -1,0 +1,417 @@
+// Shared control-flow walk for the ownership analyzers (budgetsettle,
+// poolescape): a value is acquired by one statement and must be settled
+// (committed/refunded, returned to its pool) on every path from there to
+// the end of the enclosing function.
+//
+// The walk is an AST-level abstract interpretation of one function body
+// with a three-bit state — (active, settled, terminated) — merged across
+// branches: an if settles only when every non-terminating branch settles,
+// a loop body may run zero times so it never settles the state for the
+// code after it (but a value acquired *inside* the body must be settled
+// by the body's end — the next iteration re-acquires), and a defer that
+// settles covers every later path including panics, which is why it is
+// the preferred spelling. goto is not handled (the codebase has none);
+// break/continue conservatively end the analyzed path without a report.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flowHooks parameterizes the walk per analyzer.
+type flowHooks struct {
+	// settles reports whether the call settles the tracked object.
+	settles func(call *ast.CallExpr) bool
+	// onReturn is invoked for a return statement reached while the object
+	// is unsettled; ret reports whether the return's operands reference
+	// the object. It returns true when the path counts as settled
+	// (ownership transferred) and false when it was reported as a leak.
+	onReturn func(ret *ast.ReturnStmt, refs bool) bool
+	// onGo is invoked when a go statement captures the object; returns
+	// true when the path counts as settled afterwards.
+	onGo func(g *ast.GoStmt) bool
+	// onStore is invoked when the object is assigned into a non-local
+	// location (field, index, dereference); returns true when the path
+	// counts as settled afterwards.
+	onStore func(assign *ast.AssignStmt) bool
+	// onArgPass, when non-nil, is invoked for calls that receive the
+	// object as an argument without settling it; returns true when that
+	// transfers ownership (path settled).
+	onArgPass func(call *ast.CallExpr) bool
+	// report reports an unsettled leak at pos with a path description.
+	report func(pos token.Pos, where string)
+}
+
+type flowState struct {
+	active     bool // the tracked value exists on this path
+	settled    bool // it has been settled (or ownership transferred)
+	terminated bool // the path ended (return, break, continue)
+}
+
+type flowChecker struct {
+	info  *types.Info
+	obj   types.Object
+	acq   ast.Stmt
+	hooks flowHooks
+}
+
+// checkFlow walks body for the object acquired by acq and reports every
+// path on which it stays unsettled.
+func checkFlow(info *types.Info, body *ast.BlockStmt, acq ast.Stmt, obj types.Object, hooks flowHooks) {
+	fc := &flowChecker{info: info, obj: obj, acq: acq, hooks: hooks}
+	st := fc.stmts(body.List, flowState{})
+	if st.active && !st.settled && !st.terminated {
+		hooks.report(acq.Pos(), "function end")
+	}
+}
+
+func (fc *flowChecker) stmts(list []ast.Stmt, st flowState) flowState {
+	for _, s := range list {
+		st = fc.stmt(s, st)
+		if st.terminated {
+			break
+		}
+	}
+	return st
+}
+
+func (fc *flowChecker) stmt(s ast.Stmt, st flowState) flowState {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s == fc.acq {
+			// (Re-)acquisition: a fresh value is rented, whatever settled
+			// state earlier merges left behind (an early-return if before the
+			// acquisition merges to settled=true with nothing active).
+			return flowState{active: true}
+		}
+		if fc.tracking(st) {
+			if fc.settlesAny(s.Rhs) {
+				st.settled = true
+				return st
+			}
+			if fc.storesObj(s) && fc.hooks.onStore(s) {
+				st.settled = true
+				return st
+			}
+			st = fc.checkCallsIn(s, st)
+		}
+	case *ast.DeclStmt:
+		if s == fc.acq {
+			return flowState{active: true}
+		}
+	case *ast.ExprStmt:
+		if fc.tracking(st) {
+			if fc.settlesExpr(s.X) {
+				st.settled = true
+				return st
+			}
+			st = fc.checkCallsIn(s, st)
+		}
+	case *ast.DeferStmt:
+		if fc.tracking(st) && fc.deferSettles(s) {
+			st.settled = true
+		}
+	case *ast.ReturnStmt:
+		if fc.tracking(st) {
+			if fc.hooks.onReturn(s, refersTo(fc.info, s, fc.obj)) {
+				st.settled = true
+			}
+		}
+		st.terminated = true
+	case *ast.GoStmt:
+		if fc.tracking(st) && refersTo(fc.info, s.Call, fc.obj) {
+			if fc.hooks.onGo(s) {
+				st.settled = true
+			}
+		}
+	case *ast.BlockStmt:
+		st = fc.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = fc.stmt(s.Init, st)
+		}
+		then := fc.stmts(s.Body.List, st)
+		els := st
+		if s.Else != nil {
+			els = fc.stmt(s.Else, st)
+		}
+		st = mergeBranches(st, []flowState{then, els})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = fc.stmt(s.Init, st)
+		}
+		st = fc.loopBody(s.Body, st)
+	case *ast.RangeStmt:
+		st = fc.loopBody(s.Body, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		st = fc.switchLike(s, st)
+	case *ast.LabeledStmt:
+		st = fc.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: the path leaves this block. Conservatively
+		// end it without a report — settlement may follow the loop.
+		st.terminated = true
+	}
+	return st
+}
+
+func (fc *flowChecker) tracking(st flowState) bool { return st.active && !st.settled }
+
+// loopBody walks a loop body. The loop may run zero times, so it never
+// settles the surrounding state; a value acquired inside the body must be
+// settled by the body's end, because the next iteration re-acquires.
+func (fc *flowChecker) loopBody(body *ast.BlockStmt, st flowState) flowState {
+	in := fc.stmts(body.List, st)
+	if in.active && !st.active && !in.settled && !in.terminated {
+		fc.hooks.report(fc.acq.Pos(), "end of loop body")
+	}
+	return st
+}
+
+// switchLike merges switch/type-switch/select clauses: the state after is
+// settled only when every non-terminating clause settles and (for
+// switches) a default clause exists — without one there is a fall-through
+// path that never entered any case.
+func (fc *flowChecker) switchLike(s ast.Stmt, st flowState) flowState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = fc.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = fc.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		hasDefault = true // select blocks until some clause runs
+	}
+	var branches []flowState
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			branches = append(branches, fc.stmts(c.Body, st))
+		case *ast.CommClause:
+			branches = append(branches, fc.stmts(c.Body, st))
+		}
+	}
+	if !hasDefault {
+		branches = append(branches, st) // the no-case-matched path
+	}
+	return mergeBranches(st, branches)
+}
+
+// mergeBranches joins the states of sibling control-flow branches: the
+// merged path is settled when every non-terminating branch either never
+// acquired the value or settled it (terminating branches reported their
+// own leaks during their walk).
+func mergeBranches(in flowState, branches []flowState) flowState {
+	if len(branches) == 0 {
+		return in
+	}
+	out := flowState{settled: true, terminated: true}
+	for _, b := range branches {
+		out.active = out.active || b.active
+		if !b.terminated {
+			out.terminated = false
+			if b.active && !b.settled {
+				out.settled = false
+			}
+		}
+	}
+	if !out.active {
+		// settled is only meaningful alongside active; never leave a stale
+		// settled=true that would mask a later acquisition.
+		out.settled = false
+	}
+	return out
+}
+
+// checkCallsIn lets the analyzer treat passing the object to a
+// non-settling call as an ownership transfer (budgetsettle does,
+// poolescape does not).
+func (fc *flowChecker) checkCallsIn(n ast.Node, st flowState) flowState {
+	if fc.hooks.onArgPass == nil {
+		return st
+	}
+	settled := st
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || settled.settled {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(fc.info, arg, fc.obj) && fc.hooks.onArgPass(call) {
+				settled.settled = true
+				return false
+			}
+		}
+		return true
+	})
+	return settled
+}
+
+// settlesAny reports whether any expression settles the object.
+func (fc *flowChecker) settlesAny(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if fc.settlesExpr(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// settlesExpr reports whether a settling call appears anywhere inside e.
+func (fc *flowChecker) settlesExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && fc.hooks.settles(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// deferSettles reports whether the deferred call settles the object —
+// directly (defer res.Refund()) or inside a deferred function literal.
+func (fc *flowChecker) deferSettles(d *ast.DeferStmt) bool {
+	if fc.hooks.settles(d.Call) {
+		return true
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && fc.hooks.settles(call) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	return false
+}
+
+// storesObj reports whether the assignment writes the object into a
+// non-local location: a field, an element, or through a pointer.
+func (fc *flowChecker) storesObj(s *ast.AssignStmt) bool {
+	rhsRefs := false
+	for _, r := range s.Rhs {
+		if refersTo(fc.info, r, fc.obj) {
+			rhsRefs = true
+		}
+	}
+	if !rhsRefs {
+		return false
+	}
+	for _, l := range s.Lhs {
+		switch ast.Unparen(l).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			// A write through the tracked value itself (*b = (*b)[:0],
+			// sc.ans = ...) mutates the rented object; it does not move it
+			// anywhere that outlives the function.
+			if !refersTo(fc.info, l, fc.obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- small AST/type helpers shared by the analyzers ---
+
+// exprString renders an expression canonically so syntactic identity can
+// be compared across formatting differences.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// refersTo reports whether any identifier under n resolves to obj.
+func refersTo(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleeObj resolves the called function or method of a call expression.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isMethodOn reports whether obj is a method with the given name whose
+// receiver's type (after pointers) is named typeName in package pkgPath.
+func isMethodOn(obj types.Object, pkgPath, typeName, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != typeName {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
+}
+
+// isPkgFunc reports whether obj is the package-level function
+// pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// enclosingFuncs pairs every function body in the file with its
+// declaration for analyzers that walk per function.
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// funcBodies returns every function and method body in the file
+// (excluding function literals, which the flow walk sees inline).
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, funcBody{name: fd.Name.Name, body: fd.Body})
+		}
+	}
+	return out
+}

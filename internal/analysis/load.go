@@ -1,0 +1,265 @@
+// Package loading for the analysis suite. The module has no external
+// dependencies, so a loader over go/parser and go/types covers it
+// completely: module-local import paths resolve to directories under the
+// module root (or under an optional overlay root, which is how the
+// fixture runner serves testdata packages), and standard-library paths
+// are type-checked from GOROOT source via go/importer's source importer —
+// no network, no toolchain invocation, no export data.
+//
+// Only non-test files are loaded: the invariants the analyzers encode
+// guard production code, and several of them (noiserand, floateq)
+// explicitly exempt tests.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path the package was loaded as.
+	Path string
+	// Dir is the directory its files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of one module (plus anything
+// they import). It caches by import path, so a whole-repo run
+// type-checks each package — and each standard-library dependency —
+// once.
+type Loader struct {
+	ModPath string // module path from go.mod
+	ModDir  string // module root directory
+	// Overlay, when non-empty, is a directory searched before the module
+	// for any import path (GOPATH-style: path p lives at Overlay/p). The
+	// fixture runner points it at testdata/src.
+	Overlay string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a loader for the module rooted at dir (the directory
+// holding go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	modPath, err := modulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModPath: modPath,
+		ModDir:  dir,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*loadResult{},
+	}, nil
+}
+
+// modulePath reads the module path from dir/go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps an import path to the directory it loads from, or "" when
+// the path is not served by the overlay or the module.
+func (l *Loader) dirFor(path string) string {
+	if l.Overlay != "" {
+		dir := filepath.Join(l.Overlay, filepath.FromSlash(path))
+		// The overlay wins only when it actually holds a package: a fixture
+		// nested under a production prefix (adaptivemm/internal/mm/badnoise)
+		// creates intermediate directories that must not shadow the real
+		// packages its fixtures import.
+		if names, err := goFiles(dir); err == nil && len(names) > 0 {
+			return dir
+		}
+	}
+	if path == l.ModPath {
+		return l.ModDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Load loads and type-checks the package at the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if res, ok := l.pkgs[path]; ok {
+		if res == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return res.pkg, res.err
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: import path %q is outside the module", path)
+	}
+	l.pkgs[path] = nil // in progress: a re-entrant Load is a cycle
+	pkg, err := l.check(path, dir)
+	l.pkgs[path] = &loadResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// LoadDir loads the package in dir, deriving its import path from the
+// module root.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside the module root %s", dir, l.ModDir)
+	}
+	if rel == "." {
+		return l.Load(l.ModPath)
+	}
+	return l.Load(l.ModPath + "/" + filepath.ToSlash(rel))
+}
+
+// check parses and type-checks one package directory.
+func (l *Loader) check(path, dir string) (*Package, error) {
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goFiles lists dir's buildable non-test Go files, sorted.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom: module-local (and
+// overlay) paths load through the loader, everything else — the standard
+// library — through the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if l.dirFor(path) != "" {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// PackageDirs walks root and returns every directory holding buildable Go
+// files, skipping testdata, hidden directories, and vendored trees — the
+// expansion of the "./..." pattern amlint analyzes.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		names, err := goFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}

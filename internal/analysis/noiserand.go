@@ -1,0 +1,134 @@
+// The noiserand analyzer. PR 2 shipped the engine's worst bug class:
+// release noise seeded from a predictable counter, making every "random"
+// release reproducible by anyone who could guess the seed — the noise
+// can be subtracted and the exact data recovered at nominal ε cost.
+// The fix was the NoiseSource abstraction over a crypto-keyed stream;
+// this analyzer makes the fix permanent by forbidding math/rand (and
+// wall-clock seeding) in the packages that draw or route release noise.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// NoiseProductionPrefixes are the import-path prefixes where release
+// noise is drawn or routed: only NoiseSource implementations (with a
+// documented //lint:allow) may touch math/rand there. Tests, examples
+// and benchmark drivers are exempt — deterministic streams are the point
+// of those.
+var NoiseProductionPrefixes = []string{
+	"adaptivemm/internal/mm",
+	"adaptivemm/internal/server",
+	"adaptivemm/internal/planner",
+}
+
+// noiseExemptPrefixes are never production noise code even when nested
+// under a production prefix in a fixture tree.
+var noiseExemptPrefixes = []string{
+	"adaptivemm/examples/",
+	"adaptivemm/cmd/ambench",
+}
+
+// NoiseRand forbids math/rand and time-derived seeding in production
+// noise packages.
+var NoiseRand = &Analyzer{
+	Name: "noiserand",
+	Doc: "forbid math/rand and wall-clock seeding where release noise is drawn: " +
+		"noise must come from a CSPRNG-backed NoiseSource (predictable noise = recoverable data)",
+	Run: runNoiseRand,
+}
+
+func noiseProduction(path string) bool {
+	for _, ex := range noiseExemptPrefixes {
+		if path == strings.TrimSuffix(ex, "/") || strings.HasPrefix(path, ex) {
+			return false
+		}
+	}
+	for _, p := range NoiseProductionPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoiseRand(pass *Pass) error {
+	if !noiseProduction(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"%s imported in production noise package %s: draw release noise from a NoiseSource (mm.NewCryptoSeededSource); math/rand streams are enumerable",
+					path, pass.Pkg.Path())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !callNameSuggestsSeeding(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if pos, ok := findWallClock(pass, arg); ok {
+					pass.Reportf(pos,
+						"wall-clock-derived seed: time.Now-based seeding makes the noise stream predictable to anyone who can guess the timestamp; use crypto/rand entropy")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callNameSuggestsSeeding reports whether the call installs a seed or
+// constructs a randomness source (NewSource, Seed, WithSeed, ...).
+func callNameSuggestsSeeding(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "seed") || strings.Contains(lower, "source")
+}
+
+// findWallClock finds a call to time.Now (or a Unix* conversion of one)
+// inside e.
+func findWallClock(pass *Pass, e ast.Expr) (token.Pos, bool) {
+	var found ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || found != nil {
+			return true
+		}
+		if obj := calleeObj(pass.TypesInfo, call); obj != nil && isPkgFunc(obj, "time", "Now") {
+			found = call
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return token.NoPos, false
+	}
+	return found.Pos(), true
+}

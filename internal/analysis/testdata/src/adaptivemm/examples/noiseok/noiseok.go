@@ -1,0 +1,15 @@
+// Fixture: example code is exempt from noiserand — deterministic,
+// reproducible streams are the point of examples and benchmark drivers.
+// No diagnostics expected anywhere in this package.
+
+package noiseok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Deterministic returns a reproducible stream for an example walkthrough.
+func Deterministic() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

@@ -1,0 +1,16 @@
+// Fixture: PR 2's predictable-seed bug re-introduced under the mm
+// production prefix (served via the loader overlay). Every violation
+// here must fail the lint build.
+
+package badnoise
+
+import (
+	"math/rand" // want `math/rand imported in production noise package`
+	"time"
+)
+
+// NewSeeded seeds release noise from the wall clock — the exact bug the
+// NoiseSource abstraction removed.
+func NewSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock-derived seed`
+}

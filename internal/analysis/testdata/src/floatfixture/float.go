@@ -1,0 +1,35 @@
+// Fixture for floateq: forbidden exact float comparisons and every
+// allowed idiom (exact-zero sentinel, NaN self-test, tolerance helper
+// bodies, non-float operands).
+
+package floatfixture
+
+func compare(a, b float64) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	return a != b // want `floating-point != comparison`
+}
+
+func allowedIdioms(a, b float64) bool {
+	if a == 0 {
+		return false
+	}
+	if a != a {
+		return false
+	}
+	return int(a) == int(b)
+}
+
+// approxEqual is a named tolerance helper: its body may compare exactly —
+// implementing the comparison once is its whole point.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,17 @@
+// Fixture for the //lint:allow escape hatch. TestLintAllowFixture pins
+// these exact line numbers; editing this file means updating that test.
+
+package lintallowfixture
+
+// cmp exercises the three escape-hatch behaviors.
+func cmp(a, b float64) bool {
+	//lint:allow floateq: reasoned allow; suppresses the comparison below
+	if a == b {
+		return true
+	}
+	//lint:allow
+	if a == b+1 {
+		return false
+	}
+	return a != b
+}

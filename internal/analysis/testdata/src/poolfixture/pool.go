@@ -1,0 +1,86 @@
+// Fixture for poolescape: release scratches, pooled crypto sources and
+// raw sync.Pool values that escape, leak on a path, or settle correctly.
+// Imports the real mm package, so the tracked rent/return pairs are the
+// production ones.
+
+package poolfixture
+
+import (
+	"sync"
+
+	"adaptivemm/internal/mm"
+)
+
+type holder struct{ sc *mm.ReleaseScratch }
+
+var pool sync.Pool
+
+func use(*mm.ReleaseScratch) {}
+
+// storeEscape parks a rented scratch in a field that outlives the rent.
+func storeEscape(m *mm.Mechanism, h *holder) {
+	sc := m.GetScratch()
+	h.sc = sc // want `stored outside the function`
+}
+
+// goroutineEscape lets a goroutine outlive the release that rented sc.
+func goroutineEscape(m *mm.Mechanism) {
+	sc := m.GetScratch()
+	go use(sc) // want `captured by a goroutine`
+}
+
+// returnEscape hands a pool-owned scratch to the caller.
+func returnEscape(m *mm.Mechanism) *mm.ReleaseScratch {
+	sc := m.GetScratch()
+	return sc // want `escapes: returned to the caller`
+}
+
+// leakOnBranch forgets the put on the early return.
+func leakOnBranch(m *mm.Mechanism, fail bool) {
+	sc := m.GetScratch()
+	if fail {
+		return // want `not returned to its pool before this return`
+	}
+	m.PutScratch(sc)
+}
+
+// cryptoLeak forgets to release the pooled source on the early return.
+func cryptoLeak(fail bool) {
+	cs := mm.AcquireCryptoSource()
+	if fail {
+		return // want `not returned to its pool before this return`
+	}
+	mm.ReleaseCryptoSource(cs)
+}
+
+// deferredPut is the preferred spelling: covers panics too.
+func deferredPut(m *mm.Mechanism) {
+	sc := m.GetScratch()
+	defer m.PutScratch(sc)
+	use(sc)
+}
+
+// wrapperReturn is the allowed idiom poolescape must not flag: a raw
+// sync.Pool Get may escape by return — that is how GetScratch itself is
+// built.
+func wrapperReturn() *holder {
+	h := pool.Get().(*holder)
+	return h
+}
+
+// wrapperCommaOk is the fallback form: on !ok nothing was rented, so
+// neither outcome is trackable.
+func wrapperCommaOk() *holder {
+	if h, ok := pool.Get().(*holder); ok {
+		return h
+	}
+	return &holder{}
+}
+
+// roundTrip rents and returns a raw pool value locally, mutating it
+// through the rented pointer in between (not an escape).
+func roundTrip() {
+	h := pool.Get().(*holder)
+	defer pool.Put(h)
+	h.sc = nil
+}

@@ -81,6 +81,7 @@ func NewTreeSolver(op Operator) (*TreeSolver, bool) {
 		}
 		prev := s.colIdx[a]
 		for k := a + 1; k < b; k++ {
+			//lint:allow floateq: structural detection — the exact-tree fast path applies only to bit-identical range-sum coefficients; near-equal rows must take the general solver
 			if s.colIdx[k] != prev+1 || s.val[k] != v {
 				return nil, false
 			}

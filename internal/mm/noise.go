@@ -2,7 +2,9 @@ package mm
 
 import (
 	cryptorand "crypto/rand"
+	//lint:allow noiserand: this file defines the NoiseSource implementations themselves; CryptoSource seeds rand from crypto/rand entropy
 	"math/rand"
+	//lint:allow noiserand: ChaCha8 (math/rand/v2) is the CSPRNG behind CryptoSource, seeded from crypto/rand
 	randv2 "math/rand/v2"
 	"sync"
 )

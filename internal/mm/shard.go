@@ -162,6 +162,7 @@ func liftColNorms(s Shard, n int, cn2, cn1 []float64) error {
 		switch {
 		case cover[j] == 0:
 			continue
+		//lint:allow floateq: validating a 0/1 projection matrix — entries are exactly 0 or 1 by construction, anything else is a malformed shard map
 		case cover[j] != 1:
 			return fmt.Errorf("projection is not a 0/1 single-target map (cell %d has coverage %g)", j, cover[j])
 		}

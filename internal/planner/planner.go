@@ -642,6 +642,7 @@ func (p *Planner) propose(w *workload.Workload, h Hints) ([]scoredCand, []Decisi
 		admitted = []scoredCand{*cheapest}
 	}
 	sort.SliceStable(admitted, func(i, j int) bool {
+		//lint:allow floateq: sort tie-break — a tolerance here would make the comparator intransitive; ties fall through to cost deterministically
 		if admitted[i].prop.Score != admitted[j].prop.Score {
 			return admitted[i].prop.Score < admitted[j].prop.Score
 		}

@@ -119,6 +119,7 @@ func (g *shardedGen) Propose(w *workload.Workload, h Hints, forced bool) (*Propo
 		// planner's own (error rank, cost) order; otherwise report which
 		// generator dominates so /design explain output is actionable.
 		if name, ms, mc, ok := g.bestMonolithic(w, h); ok &&
+			//lint:allow floateq: lexicographic (rank, cost) tie-break on the planner's own modeled scores; exact ties are meaningful, not accidental
 			(ms < score || (ms == score && mc <= cost)) {
 			return nil, refuse("monolithic-dominates", "%s covers the whole workload at rank %.0f for modeled cost %.3g (sharded: rank %.0f, cost %.3g)",
 				name, ms, mc, score, cost)
@@ -150,6 +151,7 @@ func (g *shardedGen) bestMonolithic(w *workload.Workload, h Hints) (name string,
 		if prop == nil || prop.Cost > g.p.budgetFor(h, other.Name()) {
 			continue
 		}
+		//lint:allow floateq: lexicographic (rank, cost) tie-break on modeled scores, same order as the refusal check above
 		if !ok || prop.Score < score || (prop.Score == score && prop.Cost < cost) {
 			name, score, cost, ok = other.Name(), prop.Score, prop.Cost, true
 		}

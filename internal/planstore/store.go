@@ -164,14 +164,23 @@ func (s *Store) writeAtomic(path string, blob []byte) error {
 	_, werr := tmp.Write(blob)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("planstore: writing %s: %v / %v", filepath.Base(path), werr, cerr)
+		return fmt.Errorf("planstore: writing %s: %v / %v%s",
+			filepath.Base(path), werr, cerr, discardTemp(tmp.Name()))
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("planstore: %w", err)
+		return fmt.Errorf("planstore: %w%s", err, discardTemp(tmp.Name()))
 	}
 	return nil
+}
+
+// discardTemp removes a failed write's temp file and renders the cleanup
+// failure, if any, for attachment to the primary error — an orphaned
+// temp file in the store directory should be visible, not silent.
+func discardTemp(name string) string {
+	if err := os.Remove(name); err != nil {
+		return fmt.Sprintf(" (orphaned temp file: %v)", err)
+	}
+	return ""
 }
 
 // Load reads and decodes one entry by ID.

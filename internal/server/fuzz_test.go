@@ -1,0 +1,39 @@
+package server
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// FuzzFtoa pins the hand-rolled float emitter to strconv: every finite
+// float64 must print as a string that strconv parses back to the
+// bit-identical value (the release answers must survive the JSON round
+// trip exactly), and non-finite values must become null.
+func FuzzFtoa(f *testing.F) {
+	for _, v := range []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 1.0 / 3.0,
+		1e15, 1e15 - 1, 9007199254740993, // around the integer fast path's cutoffs
+		1e300, 5e-324, -2.5e-10, math.MaxFloat64, // extreme magnitudes take the strconv path
+		math.NaN(), math.Inf(1), math.Inf(-1),
+	} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		out := string(appendFloat(nil, x))
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			if out != "null" {
+				t.Fatalf("appendFloat(%v) = %q, want null", x, out)
+			}
+			return
+		}
+		got, err := strconv.ParseFloat(out, 64)
+		if err != nil {
+			t.Fatalf("appendFloat(%v) emitted unparseable %q: %v", x, out, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(x) {
+			t.Fatalf("appendFloat(%v) = %q parses back to %v (bits %016x, want %016x)",
+				x, out, got, math.Float64bits(got), math.Float64bits(x))
+		}
+	})
+}

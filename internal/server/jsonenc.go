@@ -49,6 +49,7 @@ func appendFloat(b []byte, f float64) []byte {
 	if math.IsNaN(f) || math.IsInf(f, 0) {
 		return append(b, "null"...)
 	}
+	//lint:allow floateq: integer fast path — exactly-integral values (the common count-query answers) print through AppendInt; near-integral values must keep full precision
 	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
 		if f == 0 && math.Signbit(f) {
 			return append(b, '-', '0')

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	//lint:allow noiserand: client-pinned seeds for reproducible releases against ad-hoc data; registered datasets refuse seeds unless -allow-seeded (see resolveAndReserve)
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -177,6 +178,7 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) (releaseOut, Budget
 		return releaseOut{}, Budget{}, releaseErrorf(http.StatusUnprocessableEntity, "%v", err)
 	}
 	res.Commit()
+	//lint:allow poolescape: intended ownership transfer — releaseOut carries the scratch to the response encoder, which returns it via done()
 	return releaseOut{ans: ans, sc: sc, mech: mech}, fromAcct(s.acct.Spent(acctName)), nil
 }
 

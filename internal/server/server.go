@@ -82,6 +82,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	//lint:allow noiserand: workload-spec sampling RNG for /design (query selection, not release noise); seeded deterministically so identical specs cache-hit
 	"math/rand"
 	"net/http"
 	"os"
