@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -25,16 +27,44 @@ import (
 // allocs/op per inference path so allocation regressions are visible in
 // the same trajectory as end-to-end throughput.
 type releaseBenchResult struct {
-	Spec              string            `json:"spec"`
-	Mode              string            `json:"mode"`
-	Requests          int               `json:"requests"`
-	Batch             int               `json:"batch"`
-	Parallelism       int               `json:"parallelism"`
-	Transport         string            `json:"transport,omitempty"`
-	Seconds           float64           `json:"seconds"`
-	ReleasesPerSecond float64           `json:"releasesPerSecond"`
-	Phase             string            `json:"phase,omitempty"`
-	Paths             []pathBenchResult `json:"paths,omitempty"`
+	Spec              string             `json:"spec"`
+	Mode              string             `json:"mode"`
+	Requests          int                `json:"requests"`
+	Batch             int                `json:"batch"`
+	Parallelism       int                `json:"parallelism"`
+	Transport         string             `json:"transport,omitempty"`
+	Seconds           float64            `json:"seconds"`
+	ReleasesPerSecond float64            `json:"releasesPerSecond"`
+	Phase             string             `json:"phase,omitempty"`
+	Streaming         *streamBenchResult `json:"streaming,omitempty"`
+	Paths             []pathBenchResult  `json:"paths,omitempty"`
+}
+
+// streamBenchResult measures the streamed (NDJSON) release path against
+// the buffered one on the same strategy: end-to-end throughput and peak
+// bytes per release (cumulative HeapAlloc growth across one release with
+// GC disabled — a ceiling on the true peak). Buffered numbers come from
+// /answer when the workload fits its payload cap; past the cap the
+// buffered peak is the synthetic floor the buffered path cannot avoid
+// (the full answers slice plus the materialized response body) and its
+// throughput is omitted.
+type streamBenchResult struct {
+	Rows                int                  `json:"rows"`
+	ChunkSize           int                  `json:"chunkSize"`
+	ReleasesPerSecond   float64              `json:"releasesPerSecond"`
+	PeakBytesPerRelease int64                `json:"peakBytesPerRelease"`
+	StreamedBytes       int64                `json:"streamedBytes"`
+	Buffered            *bufferedBenchResult `json:"buffered,omitempty"`
+}
+
+// bufferedBenchResult is the buffered-path comparison point.
+type bufferedBenchResult struct {
+	ReleasesPerSecond   float64 `json:"releasesPerSecond,omitempty"`
+	PeakBytesPerRelease int64   `json:"peakBytesPerRelease"`
+	// Synthetic marks a computed (not measured) peak: workloads past the
+	// buffered payload cap cannot be served buffered at all, so the floor
+	// is rows×8 bytes of answers plus the materialized response body.
+	Synthetic bool `json:"synthetic,omitempty"`
 }
 
 // pathBenchResult is a library-level micro-benchmark of one release
@@ -225,9 +255,32 @@ func runReleaseBench(spec, mode string, requests, batch, parallelism int, phase,
 	if elapsed > 0 {
 		res.ReleasesPerSecond = float64(requests) / elapsed
 	}
+	rows := 0
+	if q, ok := design["queries"].(float64); ok {
+		rows = int(q)
+	}
+	stream, err := runStreamBench(h, strategyID, rows)
+	if err != nil {
+		return fmt.Errorf("stream bench: %w", err)
+	}
+	res.Streaming = stream
+
 	res.Paths = runPathBenches()
 	fmt.Printf("release bench: %s (%s) — %d releases in %.3fs → %.1f releases/s\n",
 		spec, mode, requests, elapsed, res.ReleasesPerSecond)
+	fmt.Printf("  streaming: %d rows — %.1f releases/s, peak %d bytes/release (%d streamed bytes)\n",
+		stream.Rows, stream.ReleasesPerSecond, stream.PeakBytesPerRelease, stream.StreamedBytes)
+	if b := stream.Buffered; b != nil {
+		kind := "measured"
+		if b.Synthetic {
+			kind = "synthetic floor; workload is past the buffered payload cap"
+		}
+		fmt.Printf("  buffered:  peak %d bytes/release (%s)", b.PeakBytesPerRelease, kind)
+		if b.ReleasesPerSecond > 0 {
+			fmt.Printf(", %.1f releases/s", b.ReleasesPerSecond)
+		}
+		fmt.Println()
+	}
 	for _, p := range res.Paths {
 		fmt.Printf("  path %-10s n=%-5d %12.0f ns/op %8.1f allocs/op\n", p.Path, p.Cells, p.NsPerOp, p.AllocsPerOp)
 	}
@@ -235,6 +288,174 @@ func runReleaseBench(spec, mode string, requests, batch, parallelism int, phase,
 		return nil
 	}
 	return appendBenchResult(outPath, res)
+}
+
+// bufferedAnswerCap mirrors the server's maxAnswerRows: workloads past
+// it can only be served streamed.
+const bufferedAnswerCap = 1 << 20
+
+// discardFlushWriter discards the response while counting it, so the
+// MemStats deltas see only the server's own buffers, never a client-side
+// accumulation of the body.
+type discardFlushWriter struct {
+	h      http.Header
+	status int
+	n      int64
+}
+
+func (w *discardFlushWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = http.Header{}
+	}
+	return w.h
+}
+
+// WriteHeader records explicit status codes; handlers that write the
+// body directly get net/http's implicit 200, mirrored in ok().
+func (w *discardFlushWriter) WriteHeader(code int) { w.status = code }
+
+func (w *discardFlushWriter) ok() bool { return w.status == 0 || w.status == http.StatusOK }
+func (w *discardFlushWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+func (w *discardFlushWriter) Flush() {}
+
+// runStreamBench measures the streamed release path for one designed
+// strategy against the registered "bench" dataset, plus the buffered
+// comparison point.
+func runStreamBench(h http.Handler, strategyID string, rows int) (*streamBenchResult, error) {
+	body, err := json.Marshal(map[string]any{
+		"strategy": strategyID, "dataset": "bench",
+		"epsilon": 0.01, "delta": 1e-6, "stream": true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := func() (*discardFlushWriter, error) {
+		w := &discardFlushWriter{}
+		req := httptest.NewRequest(http.MethodPost, "/release", bytes.NewReader(body))
+		h.ServeHTTP(w, req)
+		if !w.ok() {
+			return nil, fmt.Errorf("streamed release: status %d", w.status)
+		}
+		return w, nil
+	}
+
+	// Warm-up grows the mechanism scratch, chunk buffer and pooled record
+	// buffer to steady state.
+	warm, err := run()
+	if err != nil {
+		return nil, err
+	}
+	res := &streamBenchResult{Rows: rows, ChunkSize: mm.DefaultStreamChunk, StreamedBytes: warm.n}
+
+	// Peak bytes: with GC off, the HeapAlloc delta across one release is
+	// its cumulative allocation — a ceiling on the true peak.
+	gcPrev := debug.SetGCPercent(-1)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := run(); err != nil {
+		debug.SetGCPercent(gcPrev)
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+	debug.SetGCPercent(gcPrev)
+	res.PeakBytesPerRelease = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+
+	// Throughput: fastest of three timed passes (same noise-robust
+	// estimator as the batch phase).
+	k := 8
+	if rows > bufferedAnswerCap {
+		k = 3
+	}
+	best := 0.0
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		for i := 0; i < k; i++ {
+			if _, err := run(); err != nil {
+				return nil, err
+			}
+		}
+		if sec := time.Since(start).Seconds(); pass == 0 || sec < best {
+			best = sec
+		}
+	}
+	if best > 0 {
+		res.ReleasesPerSecond = float64(k) / best
+	}
+
+	buffered, err := runBufferedBench(h, strategyID, rows, res.StreamedBytes)
+	if err != nil {
+		return nil, err
+	}
+	res.Buffered = buffered
+	return res, nil
+}
+
+// runBufferedBench measures the buffered /answer path on the same
+// strategy when the workload fits its payload cap. Past the cap the
+// buffered path cannot serve at all, so the peak is reported as the
+// synthetic floor it could never beat: the answers slice plus the
+// materialized response body.
+func runBufferedBench(h http.Handler, strategyID string, rows int, streamedBytes int64) (*bufferedBenchResult, error) {
+	if rows > bufferedAnswerCap {
+		return &bufferedBenchResult{
+			PeakBytesPerRelease: int64(rows)*8 + streamedBytes,
+			Synthetic:           true,
+		}, nil
+	}
+	body, err := json.Marshal(map[string]any{
+		"strategy": strategyID, "dataset": "bench",
+		"epsilon": 0.01, "delta": 1e-6, "mode": "answers",
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := func() (*discardFlushWriter, error) {
+		w := &discardFlushWriter{}
+		req := httptest.NewRequest(http.MethodPost, "/answer", bytes.NewReader(body))
+		h.ServeHTTP(w, req)
+		if !w.ok() {
+			return nil, fmt.Errorf("buffered release: status %d", w.status)
+		}
+		return w, nil
+	}
+	if _, err := run(); err != nil {
+		return nil, err
+	}
+	res := &bufferedBenchResult{}
+
+	gcPrev := debug.SetGCPercent(-1)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := run(); err != nil {
+		debug.SetGCPercent(gcPrev)
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+	debug.SetGCPercent(gcPrev)
+	res.PeakBytesPerRelease = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+
+	const k = 8
+	best := 0.0
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		for i := 0; i < k; i++ {
+			if _, err := run(); err != nil {
+				return nil, err
+			}
+		}
+		if sec := time.Since(start).Seconds(); pass == 0 || sec < best {
+			best = sec
+		}
+	}
+	if best > 0 {
+		res.ReleasesPerSecond = float64(k) / best
+	}
+	return res, nil
 }
 
 // runPathBenches measures one library-level release per inference path —

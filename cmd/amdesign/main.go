@@ -34,6 +34,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -270,15 +271,26 @@ func release(w *workload.Workload, mech *mm.Mechanism, dataPath string, p mm.Pri
 	if len(x) != w.Cells() {
 		return fmt.Errorf("amdesign: histogram has %d cells, workload expects %d", len(x), w.Cells())
 	}
-	ans, err := mech.AnswerGaussian(w, x, p, r)
+	// Stream the release chunk by chunk: noise and inference run once,
+	// then answers are produced into one reused chunk buffer — memory
+	// stays bounded however many queries the workload answers.
+	st, err := mech.StreamRelease(w, x, p, r, 0)
 	if err != nil {
 		return err
 	}
+	defer st.Close()
 	fmt.Println("private answers:")
-	for i, v := range ans {
-		fmt.Printf("%d,%.6g\n", i, v)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for {
+		off, chunk, ok := st.Next()
+		if !ok {
+			return nil
+		}
+		for i, v := range chunk {
+			fmt.Fprintf(out, "%d,%.6g\n", off+i, v)
+		}
 	}
-	return nil
 }
 
 func fail(err error) {

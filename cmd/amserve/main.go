@@ -62,15 +62,24 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storeDir := flag.String("store", "",
 		"plan-store directory: persist designed plans and rehydrate the strategy cache on startup (empty = memory only)")
+	storeQuota := flag.Int64("store-quota", 0,
+		"plan-store byte budget: past it, least-recently-served plans are evicted (0 = unlimited; requires -store)")
+	maxStreams := flag.Int("max-streams", 0,
+		"max concurrent streamed releases (0 = server default); excess streams get 503 + Retry-After")
 	allowSeeded := flag.Bool("allow-seeded-releases", false,
 		"DEBUG ONLY: honor client-pinned noise seeds on registered datasets (lets the requester reconstruct the noise and defeat the privacy budget)")
 	pprofAddr := flag.String("pprof-addr", "",
 		"optional separate listen address for net/http/pprof profiling endpoints (empty = disabled; never exposed on the serving listener)")
 	flag.Parse()
 
+	if *storeQuota > 0 && *storeDir == "" {
+		log.Fatal("-store-quota requires -store")
+	}
 	srv, err := server.Open(server.Options{
-		AllowSeededReleases: *allowSeeded,
-		StoreDir:            *storeDir,
+		AllowSeededReleases:  *allowSeeded,
+		StoreDir:             *storeDir,
+		StoreQuotaBytes:      *storeQuota,
+		MaxConcurrentStreams: *maxStreams,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -79,7 +88,11 @@ func main() {
 		log.Printf("WARNING: seeded releases enabled; registered-dataset privacy budgets are NOT enforceable against the seeding client")
 	}
 	if *storeDir != "" {
-		log.Printf("amserve plan store at %s", *storeDir)
+		if *storeQuota > 0 {
+			log.Printf("amserve plan store at %s (quota %d bytes, LRU eviction)", *storeDir, *storeQuota)
+		} else {
+			log.Printf("amserve plan store at %s", *storeDir)
+		}
 	}
 
 	// Profiling runs on its own listener so the endpoints can be bound to

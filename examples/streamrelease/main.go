@@ -1,0 +1,152 @@
+// Streamed release: answering a workload too large for any buffered
+// response, in bounded memory, over the NDJSON streaming form of
+// POST /release.
+//
+// The walkthrough: design a strategy for all range queries over 512
+// cells (131,328 answers), then request the release with "stream": true.
+// The server runs noise and inference once, and the answers arrive as
+// newline-delimited JSON records of one chunk each under chunked
+// transfer encoding — per-connection memory is one chunk buffer, not
+// O(answers). The client reads the stream incrementally, verifies chunk
+// offsets are contiguous, and checks the trailing record's count and
+// FNV-64a checksum, which is how a truncated or corrupted stream is
+// detected (a dropped connection otherwise looks like a clean EOF at a
+// record boundary).
+//
+// Run with: go run ./examples/streamrelease
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+
+	"adaptivemm/internal/server"
+)
+
+// record is the union of the three NDJSON record shapes: the metadata
+// header, one answer chunk, and the trailer.
+type record struct {
+	Stream    string    `json:"stream"`
+	Strategy  string    `json:"strategy"`
+	Rows      int       `json:"rows"`
+	ChunkSize int       `json:"chunkSize"`
+	Offset    *int      `json:"offset"`
+	Answers   []float64 `json:"answers"`
+	Done      bool      `json:"done"`
+	Count     int       `json:"count"`
+	Checksum  string    `json:"checksum"`
+}
+
+// fnvFloats folds answers into an FNV-64a state over each float64's
+// IEEE-754 bits, little-endian — the checksum the trailer carries.
+func fnvFloats(sum uint64, vals []float64) uint64 {
+	const prime = 1099511628211
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := 0; i < 64; i += 8 {
+			sum ^= uint64(byte(bits >> i))
+			sum *= prime
+		}
+	}
+	return sum
+}
+
+func post(ts *httptest.Server, path string, body any) *http.Response {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp
+}
+
+func main() {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+
+	// Design once; the strategy handle addresses the plan for releases.
+	resp := post(ts, "/design", map[string]any{"workload": "allrange:512"})
+	var design struct {
+		Strategy string `json:"strategy"`
+		Queries  int    `json:"queries"`
+		Cells    int    `json:"cells"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&design); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("designed %s: %d range queries over %d cells\n",
+		design.Strategy, design.Queries, design.Cells)
+
+	hist := make([]float64, design.Cells)
+	for i := range hist {
+		hist[i] = float64((i * 7) % 23)
+	}
+
+	// One streamed release. The histogram rides inline (an ad-hoc
+	// dataset); registered datasets work the same way.
+	resp = post(ts, "/release", map[string]any{
+		"strategy": design.Strategy, "dataset": "counts",
+		"histogram": hist, "epsilon": 0.5, "delta": 1e-4,
+		"stream": true, "chunkSize": 8192,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("streamed release: status %d", resp.StatusCode)
+	}
+	fmt.Printf("response: %s via transfer-encoding %v\n",
+		resp.Header.Get("Content-Type"), resp.TransferEncoding)
+
+	// Read the stream record by record; memory here is one chunk, same
+	// as on the server.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 8<<20)
+	sum := uint64(14695981039346656037)
+	received, chunks := 0, 0
+	var trailer *record
+	for sc.Scan() {
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			log.Fatalf("after %d answers: %v (truncated mid-record?)", received, err)
+		}
+		switch {
+		case rec.Stream != "":
+			fmt.Printf("metadata: %d rows in chunks of %d\n", rec.Rows, rec.ChunkSize)
+		case rec.Done:
+			trailer = &rec
+		default:
+			if rec.Offset == nil || *rec.Offset != received {
+				log.Fatalf("chunk out of order at %d", received)
+			}
+			received += len(rec.Answers)
+			chunks++
+			sum = fnvFloats(sum, rec.Answers)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The trailer is the integrity check: without it (or with a count or
+	// checksum mismatch) the stream was truncated or corrupted.
+	if trailer == nil {
+		log.Fatalf("stream ended after %d answers with no trailer: truncated", received)
+	}
+	if trailer.Count != received {
+		log.Fatalf("trailer counts %d answers, received %d", trailer.Count, received)
+	}
+	if got := fmt.Sprintf("%016x", sum); got != trailer.Checksum {
+		log.Fatalf("checksum %s, trailer carries %s", got, trailer.Checksum)
+	}
+	fmt.Printf("received %d answers in %d chunks; trailer count and checksum %s verify\n",
+		received, chunks, trailer.Checksum)
+}

@@ -43,6 +43,11 @@ type flowHooks struct {
 	onArgPass func(call *ast.CallExpr) bool
 	// report reports an unsettled leak at pos with a path description.
 	report func(pos token.Pos, where string)
+	// companionErr, when non-nil, is the error result bound alongside the
+	// tracked value (st, err := ...). A branch guarded by `err != nil` is
+	// walked with nothing rented: on the error path the acquisition
+	// returned nil and there is nothing to settle.
+	companionErr types.Object
 }
 
 type flowState struct {
@@ -133,7 +138,11 @@ func (fc *flowChecker) stmt(s ast.Stmt, st flowState) flowState {
 		if s.Init != nil {
 			st = fc.stmt(s.Init, st)
 		}
-		then := fc.stmts(s.Body.List, st)
+		thenIn := st
+		if fc.errNotNilGuard(s.Cond) {
+			thenIn.active = false
+		}
+		then := fc.stmts(s.Body.List, thenIn)
 		els := st
 		if s.Else != nil {
 			els = fc.stmt(s.Else, st)
@@ -159,6 +168,33 @@ func (fc *flowChecker) stmt(s ast.Stmt, st flowState) flowState {
 }
 
 func (fc *flowChecker) tracking(st flowState) bool { return st.active && !st.settled }
+
+// errNotNilGuard reports whether cond is `companionErr != nil`: inside
+// that branch the acquisition failed and returned no value to settle.
+func (fc *flowChecker) errNotNilGuard(cond ast.Expr) bool {
+	if fc.hooks.companionErr == nil {
+		return false
+	}
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return false
+	}
+	id, ok := x.(*ast.Ident)
+	return ok && fc.info.Uses[id] == fc.hooks.companionErr
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
 
 // loopBody walks a loop body. The loop may run zero times, so it never
 // settles the surrounding state; a value acquired inside the body must be

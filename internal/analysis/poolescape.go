@@ -10,10 +10,11 @@
 //
 // Tracked rent/return pairs:
 //
-//	(*mm.Mechanism).GetScratch  →  (*mm.Mechanism).PutScratch
-//	mm.AcquireCryptoSource      →  mm.ReleaseCryptoSource
-//	server.getBuf               →  server.putBuf
-//	(*sync.Pool).Get            →  (*sync.Pool).Put
+//	(*mm.Mechanism).GetScratch    →  (*mm.Mechanism).PutScratch
+//	(*mm.Mechanism).StreamRelease →  (*mm.AnswerStream).Close
+//	mm.AcquireCryptoSource        →  mm.ReleaseCryptoSource
+//	server.getBuf                 →  server.putBuf
+//	(*sync.Pool).Get              →  (*sync.Pool).Put
 //
 // A rented value must reach its return call on every path (deferred
 // returns cover panics) and must not be stored into a field or element,
@@ -71,6 +72,19 @@ func rentSpecFor(pass *Pass, call *ast.CallExpr) (rentSpec, bool) {
 				})
 			},
 		}, true
+	case isMethodOn(obj, mmPkg, "Mechanism", "StreamRelease"):
+		// StreamRelease hands the caller an AnswerStream that owns a
+		// pooled release scratch; Close is its put. Unlike the other
+		// pairs the release is a method on the rented value itself, so
+		// the receiver — not an argument — must be the tracked object.
+		return rentSpec{
+			what: "answer stream from StreamRelease (owns a pooled release scratch)",
+			settles: func(pass *Pass, c *ast.CallExpr, o types.Object) bool {
+				return closesVia(pass, c, o, func(callee types.Object) bool {
+					return isMethodOn(callee, mmPkg, "AnswerStream", "Close")
+				})
+			},
+		}, true
 	case isPkgFunc(obj, mmPkg, "AcquireCryptoSource"):
 		return rentSpec{
 			what: "pooled crypto source from AcquireCryptoSource",
@@ -101,6 +115,17 @@ func rentSpecFor(pass *Pass, call *ast.CallExpr) (rentSpec, bool) {
 		}, true
 	}
 	return rentSpec{}, false
+}
+
+// closesVia reports whether call is a matching release invoked as a
+// method on the tracked object itself (st.Close() settles st).
+func closesVia(pass *Pass, call *ast.CallExpr, obj types.Object, isReleaser func(types.Object) bool) bool {
+	callee := calleeObj(pass.TypesInfo, call)
+	if callee == nil || !isReleaser(callee) {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && refersTo(pass.TypesInfo, sel.X, obj)
 }
 
 // releasesVia reports whether call is a matching release with the tracked
@@ -171,7 +196,19 @@ func checkRentsIn(pass *Pass, body *ast.BlockStmt) {
 		if obj == nil {
 			return true
 		}
+		// The companion error of `st, err := m.StreamRelease(...)`: in a
+		// branch guarded by err != nil nothing was rented.
+		var errObj types.Object
+		if len(assign.Lhs) == 2 {
+			if errIdent, ok := ast.Unparen(assign.Lhs[1]).(*ast.Ident); ok && errIdent.Name != "_" {
+				errObj = pass.TypesInfo.Defs[errIdent]
+				if errObj == nil {
+					errObj = pass.TypesInfo.Uses[errIdent]
+				}
+			}
+		}
 		checkFlow(pass.TypesInfo, body, assign, obj, flowHooks{
+			companionErr: errObj,
 			settles: func(call *ast.CallExpr) bool {
 				return spec.settles(pass, call, obj)
 			},

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/workload"
 )
 
 type holder struct{ sc *mm.ReleaseScratch }
@@ -83,4 +84,48 @@ func roundTrip() {
 	h := pool.Get().(*holder)
 	defer pool.Put(h)
 	h.sc = nil
+}
+
+// --- StreamRelease rent/return pair: the stream owns a pooled release
+// scratch and AnswerStream.Close is its put. The release is a method on
+// the rented value itself.
+
+func drain(st *mm.AnswerStream) {
+	for {
+		if _, _, ok := st.Next(); !ok {
+			return
+		}
+	}
+}
+
+// streamDeferredClose is the preferred spelling; the err != nil branch
+// rented nothing (StreamRelease already put its scratch back).
+func streamDeferredClose(m *mm.Mechanism, w *workload.Workload, x []float64, p mm.Privacy, r mm.NoiseSource) {
+	st, err := m.StreamRelease(w, x, p, r, 0)
+	if err != nil {
+		return
+	}
+	defer st.Close()
+	drain(st)
+}
+
+// streamLeakOnBranch forgets Close on one path.
+func streamLeakOnBranch(m *mm.Mechanism, w *workload.Workload, x []float64, p mm.Privacy, r mm.NoiseSource, fail bool) {
+	st, err := m.StreamRelease(w, x, p, r, 0)
+	if err != nil {
+		return
+	}
+	if fail {
+		return // want `not returned to its pool before this return`
+	}
+	st.Close()
+}
+
+// streamReturnEscape hands the scratch-owning stream to the caller.
+func streamReturnEscape(m *mm.Mechanism, w *workload.Workload, x []float64, p mm.Privacy, r mm.NoiseSource) *mm.AnswerStream {
+	st, err := m.StreamRelease(w, x, p, r, 0)
+	if err != nil {
+		return nil
+	}
+	return st // want `escapes: returned to the caller`
 }

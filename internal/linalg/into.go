@@ -287,6 +287,16 @@ func (o *NormedOp) MulVecTInto(dst, y []float64) { MulVecTInto(o.Operator, dst, 
 // allocates the base-sized intermediate.
 func (o *RowPermutedOp) MulVecInto(dst, x []float64) {
 	checkMulVecLen(o, len(dst), len(o.perm), false)
+	if _, ok := o.base.(*IdentityOp); ok {
+		// An identity base's product is a bit-exact copy of x, so gather
+		// straight from x — row selections (shard projections) answer
+		// allocation-free.
+		checkMulVecLen(o, len(x), o.base.Cols(), false)
+		for i, p := range o.perm {
+			dst[i] = x[p]
+		}
+		return
+	}
 	full := o.base.MulVec(x)
 	for i, p := range o.perm {
 		dst[i] = full[p]

@@ -81,7 +81,15 @@ type Mechanism struct {
 	shards    []Shard
 	shardPar  int                // bounded shard-inference parallelism
 	blockOnly linalg.Operator    // blockdiag(shard strategies), no projections
+	projStack linalg.Operator    // stack(shard projections)
 	planned   *workload.Workload // the one workload the composite answers
+	shardOnce sync.Once          // starts the persistent shard workers
+	shardCh   chan shardJob      // feeds the persistent shard workers
+
+	// Streaming releases (see stream.go): the scatter segments flattened
+	// into one sorted row index, built lazily on the first StreamRelease.
+	streamOnce sync.Once
+	streamSegs []streamSeg
 
 	l1Once sync.Once
 	sensL1 float64

@@ -16,6 +16,7 @@ package mm
 
 import (
 	"fmt"
+	"sync"
 
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/workload"
@@ -33,7 +34,15 @@ type ReleaseScratch struct {
 	ans   []float64 // workload answers
 	rhs   []float64 // normal-equations right-hand side (cols)
 	tmp   []float64 // sharded answer scatter staging
+	mid   []float64 // composite strategy intermediate (projected cells)
+	chunk []float64 // streaming answer chunk (AnswerStream)
 	ws    linalg.CGWorkspace
+
+	// Sharded fan-out state, hoisted here so a steady-state sharded
+	// release enqueues jobs to the mechanism's persistent shard workers
+	// without allocating error slots or a WaitGroup per call.
+	shardErrs []error
+	wg        sync.WaitGroup
 }
 
 // growFloats returns buf resized to n, reallocating only when capacity is
@@ -151,6 +160,16 @@ func (m *Mechanism) answersInto(dst, x []float64, sc *ReleaseScratch) {
 		m.tree.AnswerInto(dst, x, &sc.ws)
 		return
 	}
+	if m.shards != nil {
+		// The composite is blockdiag(strategies)·stack(projections); the
+		// generic composed write-into kernel allocates the projected-cell
+		// intermediate per call, so run the same two products in the same
+		// order through scratch instead — identical bits, zero allocs.
+		sc.mid = growFloats(sc.mid, m.projStack.Rows())
+		linalg.MulVecInto(m.projStack, sc.mid, x)
+		linalg.MulVecInto(m.blockOnly, dst, sc.mid)
+		return
+	}
 	linalg.MulVecInto(m.a, dst, x)
 }
 
@@ -181,7 +200,7 @@ func (m *Mechanism) inferInto(dst, y []float64, sc *ReleaseScratch) error {
 		linalg.MulVecTInto(m.a, sc.rhs, y)
 		return linalg.SolveSymCGInto(m.gram, sc.rhs, dst, linalg.CGOptions{}, &sc.ws)
 	case InferSharded:
-		return m.inferShardedInto(dst, y)
+		return m.inferShardedInto(dst, y, sc)
 	default:
 		if m.tree != nil {
 			m.tree.SolveLSInto(dst, y, &sc.ws)

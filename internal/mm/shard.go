@@ -117,8 +117,9 @@ func NewShardedMechanism(planned *workload.Workload, shards []Shard, parallelism
 	}
 
 	blockOnly := linalg.BlockDiag(strategies...)
+	projStack := linalg.StackOps(projections...)
 	composite := linalg.WithColNorms(
-		linalg.ComposeOps(blockOnly, linalg.StackOps(projections...)), cn2, cn1)
+		linalg.ComposeOps(blockOnly, projStack), cn2, cn1)
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -135,6 +136,7 @@ func NewShardedMechanism(planned *workload.Workload, shards []Shard, parallelism
 		shards:    shards,
 		shardPar:  parallelism,
 		blockOnly: blockOnly,
+		projStack: projStack,
 		planned:   planned,
 	}
 	return m, nil
@@ -188,41 +190,74 @@ func (m *Mechanism) totalShardQueries() int {
 	return total
 }
 
+// shardJob is one shard's inference, enqueued by value to the
+// mechanism's persistent shard workers: solve y into dst with sm's own
+// inference method, record the error, signal the release's WaitGroup.
+type shardJob struct {
+	sm      *Mechanism
+	dst, y  []float64
+	err     *error
+	release *sync.WaitGroup
+}
+
+// startShardWorkers launches the composite's persistent shard-inference
+// workers, shardPar of them, fed by one buffered channel. Starting them
+// lazily on the first sharded release (rather than in the constructor)
+// keeps design-only mechanisms goroutine-free. The workers live for the
+// mechanism's lifetime and serve every release — concurrent releases on
+// one composite share the same shardPar inference slots, which preserves
+// the bounded-parallelism contract globally rather than per call.
+func (m *Mechanism) startShardWorkers() {
+	m.shardCh = make(chan shardJob, len(m.shards))
+	for i := 0; i < m.shardPar; i++ {
+		go func() {
+			for j := range m.shardCh {
+				sub := j.sm.GetScratch()
+				*j.err = j.sm.inferInto(j.dst, j.y, sub)
+				j.sm.PutScratch(sub)
+				j.release.Done()
+			}
+		}()
+	}
+}
+
 // inferShardedInto splits the composite measurement vector by shard and
 // runs each shard's own inference, with bounded parallelism, writing the
 // per-shard sub-domain estimates into their slices of dst. Each shard
-// rents scratch from its own mechanism's pool, so the per-shard solves
-// stay allocation-free; the fan-out itself (goroutines, error slots) is
-// the sharded path's steady-state cost.
-func (m *Mechanism) inferShardedInto(dst, y []float64) error {
-	errs := make([]error, len(m.shards))
-	sem := make(chan struct{}, m.shardPar)
-	var wg sync.WaitGroup
+// rents scratch from its own mechanism's pool and the fan-out state
+// (error slots, WaitGroup) lives in the release's scratch, so the
+// steady-state sharded release performs zero allocations (pinned by
+// TestShardedReleaseZeroAlloc).
+func (m *Mechanism) inferShardedInto(dst, y []float64, sc *ReleaseScratch) error {
+	m.shardOnce.Do(m.startShardWorkers)
+	if cap(sc.shardErrs) < len(m.shards) {
+		sc.shardErrs = make([]error, len(m.shards))
+	}
+	errs := sc.shardErrs[:len(m.shards)]
+	sc.wg.Add(len(m.shards))
 	at, estAt := 0, 0
 	for i, s := range m.shards {
 		rows := s.Mechanism.a.Rows()
 		cells := s.Mechanism.a.Cols()
-		yi := y[at : at+rows]
-		di := dst[estAt : estAt+cells]
+		m.shardCh <- shardJob{
+			sm:      s.Mechanism,
+			dst:     dst[estAt : estAt+cells],
+			y:       y[at : at+rows],
+			err:     &errs[i],
+			release: &sc.wg,
+		}
 		at += rows
 		estAt += cells
-		wg.Add(1)
-		go func(i int, sm *Mechanism, yi, di []float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sub := sm.GetScratch()
-			errs[i] = sm.inferInto(di, yi, sub)
-			sm.PutScratch(sub)
-		}(i, s.Mechanism, yi, di)
 	}
-	wg.Wait()
+	sc.wg.Wait()
+	var first error
 	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("mm: shard %d inference: %w", i, err)
+		if err != nil && first == nil {
+			first = fmt.Errorf("mm: shard %d inference: %w", i, err)
 		}
+		errs[i] = nil // don't retain shard errors across pooled reuses
 	}
-	return nil
+	return first
 }
 
 // shardAnswers turns concatenated sub-domain estimates into the original

@@ -121,6 +121,14 @@ func CanonicalKey(spec string, seed int64, fingerprint string) string {
 type Store struct {
 	dir string
 	mu  sync.Mutex
+
+	// Quota state (SetQuota): byte budget over plan entries (0 =
+	// unlimited), last-served time per entry id, and the eviction logger.
+	// Entries never Touched fall back to their file mtime, so a fresh
+	// process still evicts oldest-first.
+	quota  int64
+	served map[string]time.Time
+	logf   func(format string, args ...any)
 }
 
 // Open ensures the directory exists and returns the store.
@@ -138,7 +146,8 @@ func Open(dir string) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 // Put persists a plan under its cache key, overwriting any previous
-// entry for the same key.
+// entry for the same key. With a quota installed (SetQuota), the write
+// counts as serving the entry and may evict older entries to make room.
 func (s *Store) Put(key string, plan *planner.Plan) (Meta, error) {
 	blob, meta, err := EncodeEntry(key, plan, time.Now())
 	if err != nil {
@@ -149,7 +158,97 @@ func (s *Store) Put(key string, plan *planner.Plan) (Meta, error) {
 		return Meta{}, err
 	}
 	meta.SizeBytes = int64(len(blob))
+	s.Touch(meta.ID)
+	s.enforceQuota()
 	return meta, nil
+}
+
+// SetQuota installs a byte budget over the store's plan entries and
+// enforces it immediately; 0 disables the quota. While a quota is set,
+// every Put that pushes the entries' total size past the budget evicts
+// least-recently-served entries (most recent of Touch time and file
+// mtime) until the store fits again. The calibration record is exempt.
+// logf, when non-nil, receives one line per eviction.
+func (s *Store) SetQuota(quota int64, logf func(format string, args ...any)) {
+	s.mu.Lock()
+	s.quota = quota
+	s.logf = logf
+	s.mu.Unlock()
+	s.enforceQuota()
+}
+
+// Touch records that an entry was just served — a design cache hit, a
+// rehydration, or its own Put — moving it to the recently-served end of
+// the quota eviction order.
+func (s *Store) Touch(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.served == nil {
+		s.served = map[string]time.Time{}
+	}
+	s.served[id] = time.Now()
+}
+
+// enforceQuota deletes least-recently-served plan entries until the
+// store's total plan bytes fit the quota. Directory-scan or removal
+// failures are logged and skipped — quota enforcement is advisory
+// housekeeping, never a reason to fail a Put.
+func (s *Store) enforceQuota() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quota <= 0 {
+		return
+	}
+	logf := s.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		logf("planstore: quota scan: %v", err)
+		return
+	}
+	type cand struct {
+		id   string
+		size int64
+		last time.Time
+	}
+	var cands []cand
+	var total int64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, planExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, planExt)
+		if !validID(id) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		last := fi.ModTime()
+		if t, ok := s.served[id]; ok && t.After(last) {
+			last = t
+		}
+		total += fi.Size()
+		cands = append(cands, cand{id: id, size: fi.Size(), last: last})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].last.Before(cands[j].last) })
+	for _, c := range cands {
+		if total <= s.quota {
+			break
+		}
+		if err := os.Remove(filepath.Join(s.dir, c.id+planExt)); err != nil {
+			logf("planstore: quota eviction of %s: %v", c.id, err)
+			continue
+		}
+		total -= c.size
+		delete(s.served, c.id)
+		logf("planstore: quota eviction: removed %s (%d bytes, last served %s); plans exceeded the %d-byte quota",
+			c.id, c.size, c.last.UTC().Format(time.RFC3339), s.quota)
+	}
 }
 
 // writeAtomic writes through a temp file and a rename so a crash cannot

@@ -41,6 +41,13 @@ type answerRequest struct {
 	// Mode selects the release payload: "answers" (default) returns the m
 	// workload answers, "estimate" the n-cell histogram estimate.
 	Mode string `json:"mode,omitempty"`
+	// Stream selects the NDJSON streaming response on POST /release (see
+	// stream.go): answers arrive chunk by chunk under chunked transfer
+	// encoding, exempt from the buffered payload cap.
+	Stream bool `json:"stream,omitempty"`
+	// ChunkSize is the streamed chunk size in answers (default
+	// mm.DefaultStreamChunk, server-clamped to maxStreamChunk).
+	ChunkSize int `json:"chunkSize,omitempty"`
 }
 
 type answerResponse struct {
@@ -263,6 +270,10 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	if req.Stream {
+		httpError(w, http.StatusBadRequest, "streaming releases are served by POST /release with \"stream\": true")
+		return
+	}
 	out, ledger, rerr := s.release(&req)
 	if rerr != nil {
 		writeReleaseError(w, rerr)
@@ -314,6 +325,15 @@ type batchRequest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 }
 
+// releaseRequest is the full POST /release body: either a batch
+// ("releases") or one streamed release ("stream": true with the /answer
+// fields inline). The embedded field sets are disjoint, so one decode
+// serves both shapes and the handler branches on Stream.
+type releaseRequest struct {
+	batchRequest
+	answerRequest
+}
+
 type batchResult struct {
 	Index   int       `json:"index"`
 	Status  int       `json:"status"`
@@ -341,8 +361,16 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var req batchRequest
+	var req releaseRequest
 	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Stream {
+		if len(req.Releases) > 0 {
+			httpError(w, http.StatusBadRequest, "streamed releases take one strategy/dataset inline, not a batch; drop \"releases\" or \"stream\"")
+			return
+		}
+		s.handleStream(w, r, &req.answerRequest)
 		return
 	}
 	if len(req.Releases) == 0 {

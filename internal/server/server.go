@@ -204,6 +204,11 @@ type Server struct {
 	persistClosed bool
 	persistWG     sync.WaitGroup
 	logf          func(format string, args ...any)
+
+	// streamSem bounds concurrent streamed releases (see handleStream):
+	// acquired non-blocking, so excess streams fail fast with 503 instead
+	// of queuing chunk buffers.
+	streamSem chan struct{}
 }
 
 // persistReq is one queued write-behind persistence job.
@@ -230,6 +235,18 @@ type Options struct {
 	// calibration from it on startup. Use Open, which can report store
 	// errors; NewWithOptions panics on them.
 	StoreDir string
+
+	// StoreQuotaBytes, when positive, bounds the plan store's total plan
+	// bytes: past the budget, the least-recently-served entries are
+	// evicted (amserve -store-quota). 0 means unlimited. Ignored without
+	// StoreDir.
+	StoreQuotaBytes int64
+
+	// MaxConcurrentStreams bounds how many streamed releases run at once;
+	// per-connection streaming memory is ChunkSize × this. 0 applies
+	// defaultMaxStreams. Excess streamed requests are refused with 503
+	// rather than queued, so they never pile up buffers.
+	MaxConcurrentStreams int
 
 	// Logf receives operational messages (rehydration skips, persistence
 	// failures). nil means the standard library logger.
@@ -278,6 +295,10 @@ func Open(opts Options) (*Server, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
+	maxStreams := opts.MaxConcurrentStreams
+	if maxStreams <= 0 {
+		maxStreams = defaultMaxStreams
+	}
 	s := &Server{
 		strategies:  map[string]*entry{},
 		cache:       map[string]string{},
@@ -286,6 +307,7 @@ func Open(opts Options) (*Server, error) {
 		reg:         registry.New(),
 		allowSeeded: opts.AllowSeededReleases,
 		logf:        logf,
+		streamSem:   make(chan struct{}, maxStreams),
 	}
 	if opts.StoreDir == "" {
 		return s, nil
@@ -295,6 +317,9 @@ func Open(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.store = store
+	if opts.StoreQuotaBytes > 0 {
+		store.SetQuota(opts.StoreQuotaBytes, logf)
+	}
 	if rates, err := store.LoadCalibration(); err != nil {
 		logf("server: ignoring design-throughput calibration: %v", err)
 	} else if len(rates) > 0 {
@@ -515,6 +540,11 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.RUnlock()
 		if ent != nil {
+			if s.store != nil {
+				// A cache hit is this plan being served: protect its stored
+				// entry from quota eviction.
+				s.store.Touch(planstore.EntryID(key))
+			}
 			s.respondDesign(w, id, ent, p, true)
 			return
 		}

@@ -158,6 +158,17 @@ func (w *Workload) MulQueriesInto(dst, x []float64) []float64 {
 	return linalg.MulVecInto(w.op, dst, x)
 }
 
+// MulQueriesRangeInto answers query rows [lo,hi) into dst[:hi-lo] — the
+// chunked spelling of MulQueriesInto used by streaming releases. The
+// values are bit-identical to the matching window of the full product, so
+// a streamed release reassembles exactly the buffered answer vector.
+func (w *Workload) MulQueriesRangeInto(dst, x []float64, lo, hi int) []float64 {
+	if w.op == nil {
+		panic(fmt.Sprintf("workload: %q is gram-only and cannot be answered on data", w.name))
+	}
+	return linalg.MulVecRangeInto(w.op, dst, x, lo, hi)
+}
+
 // Gram returns WᵀW, computing and caching it on first use: from the
 // Kronecker gram factors when the workload has product form, from the
 // operator's analytic Gram when it has one, or from the dense rows.
