@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"adaptivemm/internal/server"
+)
+
+// fleetBenchResult is one distributed-vs-single-process throughput
+// comparison of the sharded release path, appended to the same
+// BENCH_*.json trajectory as the batch releasebench entries. The fleet
+// leg runs a coordinator routing per-shard inference to real worker
+// processes over loopback HTTP; the single leg runs the identical
+// workload in one process. RemoteShards and Degraded come from the
+// coordinator's /fleet counters and prove the distributed leg actually
+// went remote (Degraded must be 0 for a clean measurement).
+type fleetBenchResult struct {
+	Spec         string        `json:"spec"`
+	Mode         string        `json:"mode"`
+	Phase        string        `json:"phase,omitempty"`
+	Requests     int           `json:"requests"`
+	Batch        int           `json:"batch"`
+	Parallelism  int           `json:"parallelism"`
+	Workers      int           `json:"workers"`
+	RemoteShards int64         `json:"remoteShards"`
+	Degraded     int64         `json:"degraded"`
+	Distributed  fleetBenchLeg `json:"distributed"`
+	Single       fleetBenchLeg `json:"single"`
+}
+
+// fleetBenchLeg is one side of the comparison.
+type fleetBenchLeg struct {
+	Seconds           float64 `json:"seconds"`
+	ReleasesPerSecond float64 `json:"releasesPerSecond"`
+}
+
+// benchSwapHandler lets an httptest server exist before the server
+// behind it does — the coordinator needs worker URLs at Open, and the
+// workers need the coordinator URL at Open, so somebody's socket has to
+// come up first with no handler behind it.
+type benchSwapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *benchSwapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "fleet bench: worker not wired yet", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *benchSwapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// runFleetBench measures sharded release throughput through a real
+// coordinator/worker fleet on loopback against the identical workload
+// served single-process, and appends the pair to the trajectory file.
+// The release requests themselves are driven in process against the
+// coordinator's handler (same transport convention as releasebench);
+// only the per-shard solves and the workers' plan fetches cross the
+// loopback sockets, so the delta between the two legs is the fleet's
+// wire cost.
+func runFleetBench(spec string, requests, batch, parallelism, workers int, phase, outPath string) error {
+	if workers < 1 {
+		return fmt.Errorf("fleet bench needs at least one worker, got %d", workers)
+	}
+	quiet := func(string, ...any) {}
+
+	// Worker sockets first (the coordinator's Open wants their URLs),
+	// worker servers last (their Open wants the coordinator's URL).
+	swaps := make([]*benchSwapHandler, workers)
+	urls := make([]string, workers)
+	for i := range swaps {
+		swaps[i] = &benchSwapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	coord, err := server.Open(server.Options{
+		FleetWorkers:       urls,
+		FleetProbeInterval: -1, // no faults injected; backoff expiry suffices
+		Logf:               quiet,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	coordTS := httptest.NewServer(coord.Handler())
+	defer coordTS.Close()
+	for i := range swaps {
+		w, err := server.Open(server.Options{CoordinatorURL: coordTS.URL, Logf: quiet})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		swaps[i].set(w.Handler())
+	}
+
+	distributed, err := benchShardedReleases(coord.Handler(), spec, requests, batch, parallelism)
+	if err != nil {
+		return fmt.Errorf("distributed leg: %w", err)
+	}
+
+	// The coordinator's own counters are the proof the leg went remote.
+	var fleetStat struct {
+		Shards struct {
+			Remote   int64 `json:"remote"`
+			Degraded int64 `json:"degraded"`
+		} `json:"shards"`
+	}
+	rec := httptest.NewRecorder()
+	coord.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/fleet", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &fleetStat); err != nil {
+		return fmt.Errorf("decoding /fleet: %w", err)
+	}
+	if fleetStat.Shards.Remote == 0 {
+		return fmt.Errorf("fleet bench served no shards remotely; measurement is not distributed")
+	}
+
+	single := server.New()
+	defer single.Close()
+	singleLeg, err := benchShardedReleases(single.Handler(), spec, requests, batch, parallelism)
+	if err != nil {
+		return fmt.Errorf("single-process leg: %w", err)
+	}
+
+	res := fleetBenchResult{
+		Spec:         spec,
+		Mode:         "fleetbench",
+		Phase:        phase,
+		Requests:     requests,
+		Batch:        batch,
+		Parallelism:  parallelism,
+		Workers:      workers,
+		RemoteShards: fleetStat.Shards.Remote,
+		Degraded:     fleetStat.Shards.Degraded,
+		Distributed:  distributed,
+		Single:       singleLeg,
+	}
+	fmt.Printf("fleet bench: %s — %d releases, %d workers\n", spec, requests, workers)
+	fmt.Printf("  distributed: %.3fs → %.1f releases/s (%d remote shards, %d degraded)\n",
+		distributed.Seconds, distributed.ReleasesPerSecond, res.RemoteShards, res.Degraded)
+	fmt.Printf("  single:      %.3fs → %.1f releases/s\n", singleLeg.Seconds, singleLeg.ReleasesPerSecond)
+	if outPath == "" {
+		return nil
+	}
+	return appendBenchResult(outPath, res)
+}
+
+// benchShardedReleases designs spec on h, requires the planner to have
+// chosen the sharded generator (the comparison is meaningless
+// otherwise), registers a dataset, and measures batch /release
+// throughput in answers mode: fastest of three timed passes after one
+// untimed warm-up, same estimator as releasebench.
+func benchShardedReleases(h http.Handler, spec string, requests, batch, parallelism int) (fleetBenchLeg, error) {
+	post := func(path string, body any, out any) error {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			return err
+		}
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, rec.Code)
+		}
+		return nil
+	}
+
+	var design map[string]any
+	if err := post("/design", map[string]any{"workload": spec}, &design); err != nil {
+		return fleetBenchLeg{}, err
+	}
+	report, _ := design["planner"].(map[string]any)
+	if gen, _ := report["generator"].(string); gen != "sharded" {
+		return fleetBenchLeg{}, fmt.Errorf("spec %s chose generator %q; fleet bench needs a sharded plan", spec, gen)
+	}
+	strategyID, _ := design["strategy"].(string)
+	cells := int(design["cells"].(float64))
+	hist := make([]float64, cells)
+	for i := range hist {
+		hist[i] = float64(i % 17)
+	}
+	var reg map[string]any
+	if err := post("/datasets", map[string]any{"name": "fleetbench", "histogram": hist}, &reg); err != nil {
+		return fleetBenchLeg{}, err
+	}
+
+	item := map[string]any{
+		"strategy": strategyID, "dataset": "fleetbench",
+		"epsilon": 0.01, "delta": 1e-6, "mode": "answers",
+	}
+	makeBody := func(n int) ([]byte, error) {
+		releases := make([]map[string]any, n)
+		for i := range releases {
+			releases[i] = item
+		}
+		return json.Marshal(map[string]any{"releases": releases, "parallelism": parallelism})
+	}
+	fullBody, err := makeBody(batch)
+	if err != nil {
+		return fleetBenchLeg{}, err
+	}
+	respBody := bytes.NewBuffer(make([]byte, 0, 1<<20))
+	runBatch := func(body []byte, n int) error {
+		req := httptest.NewRequest(http.MethodPost, "/release", bytes.NewReader(body))
+		respBody.Reset()
+		rec := &httptest.ResponseRecorder{Code: http.StatusOK, HeaderMap: http.Header{}, Body: respBody}
+		h.ServeHTTP(rec, req)
+		raw := respBody.Bytes()
+		failed, ok := scanFailedTail(raw)
+		if rec.Code != http.StatusOK || !ok || failed != 0 {
+			var out benchClientResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				return fmt.Errorf("status %d, undecodable body: %v", rec.Code, err)
+			}
+			for _, res := range out.Results {
+				if res.Status != http.StatusOK {
+					return fmt.Errorf("%d of %d releases failed (first: status %d: %s)",
+						out.Failed, n, res.Status, res.Error)
+				}
+			}
+			return fmt.Errorf("status %d, %d of %d releases failed", rec.Code, out.Failed, n)
+		}
+		return nil
+	}
+
+	// Warm-up: populates pools, and on the fleet leg makes the workers
+	// fetch and cache the plan so the timed passes measure steady state.
+	if err := runBatch(fullBody, batch); err != nil {
+		return fleetBenchLeg{}, fmt.Errorf("warm-up: %w", err)
+	}
+
+	const passes = 3
+	elapsed := 0.0
+	for pass := 0; pass < passes; pass++ {
+		start := time.Now()
+		done := 0
+		for done < requests {
+			n := batch
+			body := fullBody
+			if requests-done < n {
+				n = requests - done
+				if body, err = makeBody(n); err != nil {
+					return fleetBenchLeg{}, err
+				}
+			}
+			if err := runBatch(body, n); err != nil {
+				return fleetBenchLeg{}, err
+			}
+			done += n
+		}
+		if sec := time.Since(start).Seconds(); pass == 0 || sec < elapsed {
+			elapsed = sec
+		}
+	}
+	leg := fleetBenchLeg{Seconds: elapsed}
+	if elapsed > 0 {
+		leg.ReleasesPerSecond = float64(requests) / elapsed
+	}
+	return leg, nil
+}

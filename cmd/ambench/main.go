@@ -17,6 +17,11 @@
 // measurement to a BENCH_*.json trajectory:
 //
 //	ambench -releasebench allrange:1024 -requests 512 -benchout BENCH_release.json
+//
+// A fleet mode benchmarks the same sharded workload through a
+// coordinator/worker fleet on loopback against a single process:
+//
+//	ambench -fleetbench marginals:1:64x64 -fleetworkers 2
 package main
 
 import (
@@ -48,8 +53,19 @@ func main() {
 
 		planBench    = flag.String("planbench", "", "workload spec (or 'all'): benchmark planner generator selection and design latency")
 		planBenchOut = flag.String("planbenchout", "BENCH_plan.json", "trajectory file for -planbench results (empty to skip writing)")
+
+		fleetBench   = flag.String("fleetbench", "", "sharded workload spec: benchmark distributed vs single-process release throughput")
+		fleetWorkers = flag.Int("fleetworkers", 2, "loopback worker count for -fleetbench")
 	)
 	flag.Parse()
+
+	if *fleetBench != "" {
+		if err := runFleetBench(*fleetBench, *requests, *batch, *parallel, *fleetWorkers, *benchPhase, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ambench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *planBench != "" {
 		if err := runPlanBench(*planBench, *planBenchOut); err != nil {

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultShardTimeout bounds one shard request attempt when the client
+// is not configured otherwise.
+const DefaultShardTimeout = 5 * time.Second
+
+// ErrNoWorkers reports that every fleet worker was down with an
+// unexpired backoff — the request never left the coordinator. The
+// caller's local fallback turns this into a slower-but-served release.
+var ErrNoWorkers = errors.New("fleet: no usable worker")
+
+// Client routes per-shard inference requests to the fleet: placement by
+// consistent hash of (planID, shard), failover along the ring's
+// deterministic walk order, health bookkeeping through the registry.
+// All fields are set at construction and never mutated, so one client
+// serves every plan's releases concurrently.
+type Client struct {
+	Registry *Registry
+	Ring     *Ring
+	// HTTP performs the requests; its Transport is where tests inject
+	// a FaultRoundTripper. nil falls back to http.DefaultClient.
+	HTTP *http.Client
+	// Timeout bounds each attempt (≤0 selects DefaultShardTimeout).
+	Timeout time.Duration
+
+	remote   atomic.Int64 // shards answered by a worker
+	retries  atomic.Int64 // extra attempts past each shard's first
+	failures atomic.Int64 // failed attempts (marked the worker down)
+}
+
+// NewClient wires a registry and ring over one worker set.
+func NewClient(workers []string, hc *http.Client, timeout time.Duration) *Client {
+	reg := NewRegistry(workers)
+	return &Client{Registry: reg, Ring: NewRing(reg.URLs(), 0), HTTP: hc, Timeout: timeout}
+}
+
+// Stats is a snapshot of the client's shard-routing counters.
+type Stats struct {
+	// Remote counts shards answered by a fleet worker.
+	Remote int64 `json:"remote"`
+	// Retries counts failover attempts past each shard's first.
+	Retries int64 `json:"retries"`
+	// Failures counts failed attempts (each marked its worker down).
+	Failures int64 `json:"failures"`
+}
+
+// Stats snapshots the routing counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Remote:   c.remote.Load(),
+		Retries:  c.retries.Load(),
+		Failures: c.failures.Load(),
+	}
+}
+
+// InferShard asks the fleet to solve one shard: POST the measurement
+// vector to the worker owning (planID, shard), walking the ring's
+// failover order past down or failing workers. It returns nil with dst
+// filled on the first success; when every usable worker fails (or none
+// is usable) it returns the last error for the caller to fall back on.
+func (c *Client) InferShard(ctx context.Context, planID string, shard int, dst, y []float64) error {
+	seq := c.Ring.Sequence(ShardKey(planID, shard))
+	body := AppendVector(make([]byte, 0, len(vecMagic)+10+8*len(y)+8), y)
+	lastErr := ErrNoWorkers
+	tried := 0
+	for _, url := range seq {
+		if !c.Registry.Usable(url) {
+			continue
+		}
+		tried++
+		if tried > 1 {
+			c.retries.Add(1)
+		}
+		err := c.post(ctx, url, planID, shard, body, dst)
+		if err == nil {
+			c.Registry.MarkUp(url)
+			c.remote.Add(1)
+			return nil
+		}
+		c.Registry.MarkDown(url, err)
+		c.failures.Add(1)
+		lastErr = err
+	}
+	return fmt.Errorf("fleet: shard %d of plan %s: %w", shard, planID, lastErr)
+}
+
+// post performs one attempt against one worker.
+func (c *Client) post(ctx context.Context, workerURL, planID string, shard int, body []byte, dst []float64) error {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultShardTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		workerURL+"/shards/"+planID+"/"+strconv.Itoa(shard), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	want := len(vecMagic) + 10 + 8*len(dst) + 8
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("worker %s: status %d: %s", workerURL, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	// Read one byte past the maximum valid frame so padding is detected
+	// as an oversized (invalid) vector rather than silently dropped.
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, int64(want)+1))
+	if err != nil {
+		return fmt.Errorf("worker %s: reading shard estimate: %w", workerURL, err)
+	}
+	if err := DecodeVectorInto(dst, blob); err != nil {
+		return fmt.Errorf("worker %s: %w", workerURL, err)
+	}
+	return nil
+}
+
+// ProbeDown re-probes every down worker whose backoff has elapsed with
+// a GET {worker}/fleet health check. Coordinators run it periodically
+// so an idle fleet still notices recovered workers; under traffic the
+// shard requests themselves are the probes.
+func (c *Client) ProbeDown(ctx context.Context) {
+	for _, url := range c.Registry.URLs() {
+		if !c.Registry.probeDue(url) {
+			continue
+		}
+		c.probe(ctx, url)
+	}
+}
+
+func (c *Client) probe(ctx context.Context, workerURL string) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultShardTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, workerURL+"/fleet", nil)
+	if err != nil {
+		c.Registry.MarkDown(workerURL, err)
+		return
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		c.Registry.MarkDown(workerURL, err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.Registry.MarkDown(workerURL, fmt.Errorf("health probe: status %d", resp.StatusCode))
+		return
+	}
+	c.Registry.MarkUp(workerURL)
+}

@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardHandler doubles the decoded vector, recording how many requests
+// it served.
+func shardHandler(served *int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		blob, _ := io.ReadAll(r.Body)
+		y := make([]float64, 4)
+		if err := DecodeVectorInto(y, blob); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for i := range y {
+			y[i] *= 2
+		}
+		*served++
+		w.Write(AppendVector(nil, y))
+	}
+}
+
+func TestClientInferShard(t *testing.T) {
+	var served1, served2 int
+	w1 := httptest.NewServer(shardHandler(&served1))
+	defer w1.Close()
+	w2 := httptest.NewServer(shardHandler(&served2))
+	defer w2.Close()
+
+	c := NewClient([]string{w1.URL, w2.URL}, nil, 0)
+	y := []float64{1, 2, 3, 4}
+	dst := make([]float64, 4)
+	if err := c.InferShard(context.Background(), "abc123", 0, dst, y); err != nil {
+		t.Fatalf("InferShard: %v", err)
+	}
+	for i := range y {
+		if math.Float64bits(dst[i]) != math.Float64bits(2*y[i]) {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], 2*y[i])
+		}
+	}
+	if served1+served2 != 1 {
+		t.Fatalf("one request served %d times", served1+served2)
+	}
+	if st := c.Stats(); st.Remote != 1 || st.Retries != 0 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// A dead first-choice worker must fail over to the next worker on the
+// ring, mark the dead one down, and still return the right answer.
+func TestClientFailover(t *testing.T) {
+	var served int
+	alive := httptest.NewServer(shardHandler(&served))
+	defer alive.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down for maintenance", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+
+	c := NewClient([]string{alive.URL, dead.URL}, nil, 0)
+	// Find a (plan, shard) the dead worker owns so failover is exercised.
+	// The worker URLs carry random httptest ports, so no fixed key is
+	// guaranteed to land on the dead worker — search until one does.
+	shard := -1
+	for i := 0; i < 1<<16; i++ {
+		if c.Ring.Place(ShardKey("plan", i)) == dead.URL {
+			shard = i
+			break
+		}
+	}
+	if shard < 0 {
+		t.Fatal("dead worker owns none of 65536 shards; ring is degenerate")
+	}
+	dst := make([]float64, 4)
+	if err := c.InferShard(context.Background(), "plan", shard, dst, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatalf("InferShard with failover: %v", err)
+	}
+	if served != 1 {
+		t.Fatalf("live worker served %d requests, want 1", served)
+	}
+	st := c.Stats()
+	if st.Remote != 1 || st.Retries != 1 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want one remote, one retry, one failure", st)
+	}
+	if c.Registry.Usable(dead.URL) {
+		t.Fatal("failed worker still usable with a fresh backoff")
+	}
+}
+
+// With every worker down and backed off, InferShard returns ErrNoWorkers
+// without a network attempt.
+func TestClientNoUsableWorkers(t *testing.T) {
+	c := NewClient([]string{"http://a", "http://b"}, nil, 50*time.Millisecond)
+	now := time.Unix(1000, 0)
+	c.Registry.SetClock(func() time.Time { return now })
+	c.Registry.MarkDown("http://a", errors.New("x"))
+	c.Registry.MarkDown("http://b", errors.New("x"))
+	err := c.InferShard(context.Background(), "p", 0, make([]float64, 1), []float64{1})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// A worker returning a mangled body is a failed attempt — the wire
+// checksum downgrades corruption to unavailability.
+func TestClientRejectsCorruptResponse(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("AMFVgarbage"))
+	}))
+	defer bad.Close()
+	c := NewClient([]string{bad.URL}, nil, 0)
+	err := c.InferShard(context.Background(), "p", 0, make([]float64, 4), []float64{1, 2, 3, 4})
+	if err == nil {
+		t.Fatal("corrupt response accepted")
+	}
+	if c.Registry.Usable(bad.URL) {
+		t.Fatal("corrupting worker not marked down")
+	}
+}
+
+// ProbeDown brings a recovered worker back without any shard traffic.
+func TestClientProbeDown(t *testing.T) {
+	healthy := false
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/fleet") {
+			http.NotFound(w, r)
+			return
+		}
+		if !healthy {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"mode":"worker"}`))
+	}))
+	defer ts.Close()
+
+	c := NewClient([]string{ts.URL}, nil, 0)
+	now := time.Unix(1000, 0)
+	c.Registry.SetClock(func() time.Time { return now })
+	c.Registry.MarkDown(ts.URL, errors.New("initial failure"))
+
+	// Backoff not yet elapsed: no probe happens.
+	c.ProbeDown(context.Background())
+	// Backoff elapsed but worker still sick: probed, stays down.
+	now = now.Add(baseBackoff)
+	c.ProbeDown(context.Background())
+	if len(c.Registry.Status()) != 1 || c.Registry.Status()[0].Healthy {
+		t.Fatal("sick worker marked healthy by probe")
+	}
+	// Worker recovers; next due probe brings it back.
+	healthy = true
+	now = now.Add(2 * baseBackoff)
+	c.ProbeDown(context.Background())
+	if !c.Registry.Status()[0].Healthy {
+		t.Fatal("recovered worker not marked healthy by probe")
+	}
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	//lint:allow noiserand: deterministic fault-schedule PRNG for the test transport — decides which requests to break, never draws release noise
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FaultMode names one injectable transport failure.
+type FaultMode int
+
+const (
+	// FaultNone forwards the request untouched.
+	FaultNone FaultMode = iota
+	// FaultDrop fails the request without contacting the server, like a
+	// refused connection.
+	FaultDrop
+	// FaultDelay sleeps Fault.Delay before forwarding — drive it past
+	// the client timeout to simulate a slow worker.
+	FaultDelay
+	// FaultTruncate forwards the request but cuts the response body in
+	// half, like a connection dying mid-body.
+	FaultTruncate
+	// Fault5xx synthesizes a 503 without contacting the server.
+	Fault5xx
+	// FaultCorrupt forwards the request but flips one byte in the
+	// middle of the response body.
+	FaultCorrupt
+	// FaultDuplicate delivers the request twice (the first response is
+	// discarded) and returns the second response — duplicate delivery
+	// on an at-least-once transport; shard inference is stateless and
+	// deterministic, so duplicates must be harmless.
+	FaultDuplicate
+)
+
+// Fault is one schedule decision.
+type Fault struct {
+	Mode  FaultMode
+	Delay time.Duration
+}
+
+// Schedule decides the fault for the n-th request through the transport
+// (0-based, counted across all requests). Implementations must be pure
+// functions of (n, req) so a seeded schedule replays identically.
+type Schedule func(n int, req *http.Request) Fault
+
+// FaultRoundTripper is a deterministic fault-injecting
+// http.RoundTripper: every request consults the schedule and is
+// forwarded, delayed, dropped, truncated, corrupted or duplicated
+// accordingly. Wrap it around a coordinator's fleet transport to prove
+// the release path survives each failure mode bit-identically.
+type FaultRoundTripper struct {
+	// Base performs the real requests (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// Schedule decides each request's fault (nil = no faults).
+	Schedule Schedule
+
+	mu sync.Mutex
+	n  int
+}
+
+// Requests returns how many requests have passed through.
+func (f *FaultRoundTripper) Requests() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+func (f *FaultRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	n := f.n
+	f.n++
+	f.mu.Unlock()
+	base := f.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	var fault Fault
+	if f.Schedule != nil {
+		fault = f.Schedule(n, req)
+	}
+	switch fault.Mode {
+	case FaultDrop:
+		return nil, fmt.Errorf("fleet: injected connection drop (request %d to %s)", n, req.URL.Path)
+	case Fault5xx:
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"application/json"}},
+			Body:    io.NopCloser(bytes.NewReader([]byte(`{"error":"injected 503"}`))),
+			Request: req,
+		}, nil
+	case FaultDelay:
+		select {
+		case <-time.After(fault.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return base.RoundTrip(req)
+	case FaultTruncate:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return mangleBody(resp, func(blob []byte) []byte { return blob[:len(blob)/2] }), nil
+	case FaultCorrupt:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return mangleBody(resp, func(blob []byte) []byte {
+			if len(blob) > 0 {
+				blob[len(blob)/2] ^= 0x40
+			}
+			return blob
+		}), nil
+	case FaultDuplicate:
+		if req.GetBody != nil {
+			if b, err := req.GetBody(); err == nil {
+				first := req.Clone(req.Context())
+				first.Body = b
+				if resp, err := base.RoundTrip(first); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			if b, err := req.GetBody(); err == nil {
+				second := req.Clone(req.Context())
+				second.Body = b
+				req = second
+			}
+		}
+		return base.RoundTrip(req)
+	default:
+		return base.RoundTrip(req)
+	}
+}
+
+// mangleBody buffers the response body and rewrites it through mutate.
+func mangleBody(resp *http.Response, mutate func([]byte) []byte) *http.Response {
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	blob = mutate(blob)
+	resp.Body = io.NopCloser(bytes.NewReader(blob))
+	resp.ContentLength = int64(len(blob))
+	resp.Header.Del("Content-Length")
+	return resp
+}
+
+// SeededSchedule injects mode on each request independently with the
+// given probability, decided by a PRNG derived from (seed, n) — a pure
+// function of the request counter, so concurrent arrival order cannot
+// change which requests fault and a replay faults identically.
+func SeededSchedule(seed int64, rate float64, mode FaultMode) Schedule {
+	return func(n int, req *http.Request) Fault {
+		rng := rand.New(rand.NewSource(seed ^ (int64(n)+1)*0x9E3779B9))
+		if rng.Float64() < rate {
+			return Fault{Mode: mode}
+		}
+		return Fault{}
+	}
+}
+
+// PathSchedule injects fault on every request whose URL path matches
+// the predicate.
+func PathSchedule(match func(path string) bool, fault Fault) Schedule {
+	return func(n int, req *http.Request) Fault {
+		if match(req.URL.Path) {
+			return fault
+		}
+		return Fault{}
+	}
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers every POST by decoding a 4-vector and doubling it.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		blob, _ := io.ReadAll(r.Body)
+		y := make([]float64, 4)
+		if err := DecodeVectorInto(y, blob); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for i := range y {
+			y[i] *= 2
+		}
+		w.Write(AppendVector(nil, y))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doPost(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	body := AppendVector(nil, []float64{1, 2, 3, 4})
+	req, err := http.NewRequest(http.MethodPost, url+"/shards/x/0", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bytes.Reader bodies get GetBody for free via http.NewRequest.
+	return (&http.Client{Transport: rt}).Do(req)
+}
+
+func TestFaultRoundTripperModes(t *testing.T) {
+	ts := echoServer(t)
+
+	always := func(mode FaultMode, d time.Duration) Schedule {
+		return func(n int, req *http.Request) Fault { return Fault{Mode: mode, Delay: d} }
+	}
+	decode := func(resp *http.Response) error {
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		return DecodeVectorInto(make([]float64, 4), blob)
+	}
+
+	t.Run("drop", func(t *testing.T) {
+		rt := &FaultRoundTripper{Schedule: always(FaultDrop, 0)}
+		if _, err := doPost(t, rt, ts.URL); err == nil || !strings.Contains(err.Error(), "injected connection drop") {
+			t.Fatalf("err = %v, want injected drop", err)
+		}
+		if rt.Requests() != 1 {
+			t.Fatalf("requests = %d, want 1", rt.Requests())
+		}
+	})
+	t.Run("5xx", func(t *testing.T) {
+		resp, err := doPost(t, &FaultRoundTripper{Schedule: always(Fault5xx, 0)}, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", resp.StatusCode)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		resp, err := doPost(t, &FaultRoundTripper{Schedule: always(FaultTruncate, 0)}, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if derr := decode(resp); derr == nil {
+			t.Fatal("truncated body decoded cleanly")
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		resp, err := doPost(t, &FaultRoundTripper{Schedule: always(FaultCorrupt, 0)}, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if derr := decode(resp); derr == nil {
+			t.Fatal("corrupted body decoded cleanly")
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		resp, err := doPost(t, &FaultRoundTripper{Schedule: always(FaultDuplicate, 0)}, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if derr := decode(resp); derr != nil {
+			t.Fatalf("duplicated request's final response invalid: %v", derr)
+		}
+	})
+	t.Run("delay honors context", func(t *testing.T) {
+		rt := &FaultRoundTripper{Schedule: always(FaultDelay, time.Hour)}
+		body := AppendVector(nil, []float64{1, 2, 3, 4})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL, bytes.NewReader(body))
+		hc := &http.Client{Transport: rt, Timeout: 20 * time.Millisecond}
+		start := time.Now()
+		if _, err := hc.Do(req); err == nil {
+			t.Fatal("delayed request succeeded before its delay")
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("delayed request ignored the client timeout")
+		}
+	})
+	t.Run("none passes through", func(t *testing.T) {
+		resp, err := doPost(t, &FaultRoundTripper{}, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if derr := decode(resp); derr != nil {
+			t.Fatalf("fault-free pass-through mangled the body: %v", derr)
+		}
+	})
+}
+
+// A seeded schedule must be a pure function of the request counter:
+// replaying it yields the same faults regardless of evaluation order.
+func TestSeededScheduleDeterministic(t *testing.T) {
+	sched := SeededSchedule(42, 0.3, FaultDrop)
+	req, _ := http.NewRequest(http.MethodGet, "http://x/", nil)
+	first := make([]FaultMode, 100)
+	for n := range first {
+		first[n] = sched(n, req).Mode
+	}
+	faulted := 0
+	// Replay in reverse order.
+	for n := len(first) - 1; n >= 0; n-- {
+		if got := sched(n, req).Mode; got != first[n] {
+			t.Fatalf("request %d: replay fault %v, first run %v", n, got, first[n])
+		}
+		if first[n] == FaultDrop {
+			faulted++
+		}
+	}
+	if faulted == 0 || faulted == len(first) {
+		t.Fatalf("rate 0.3 faulted %d of %d requests", faulted, len(first))
+	}
+
+	// A different seed must give a different schedule.
+	other := SeededSchedule(43, 0.3, FaultDrop)
+	same := true
+	for n := range first {
+		if other(n, req).Mode != first[n] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestPathSchedule(t *testing.T) {
+	sched := PathSchedule(func(p string) bool { return strings.HasPrefix(p, "/shards/") }, Fault{Mode: Fault5xx})
+	shards, _ := http.NewRequest(http.MethodPost, "http://x/shards/p/1", nil)
+	fleet, _ := http.NewRequest(http.MethodGet, "http://x/fleet", nil)
+	if sched(0, shards).Mode != Fault5xx {
+		t.Fatal("matching path not faulted")
+	}
+	if sched(1, fleet).Mode != FaultNone {
+		t.Fatal("non-matching path faulted")
+	}
+}

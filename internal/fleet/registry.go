@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// Health-probe backoff: a worker's first failure schedules a re-probe
+// after baseBackoff; each consecutive failure doubles the delay up to
+// maxBackoff, so a dead worker costs one probe per backoff window
+// instead of one timeout per shard.
+const (
+	baseBackoff = 250 * time.Millisecond
+	maxBackoff  = 30 * time.Second
+)
+
+// Registry tracks the fleet's workers and their health. Routing treats
+// a down worker as usable again once its probe is due — the next shard
+// request doubles as the probe, so recovery needs no side channel —
+// and Client.ProbeDown additionally re-probes idle fleets in the
+// background.
+type Registry struct {
+	mu      sync.Mutex
+	workers map[string]*workerState
+	urls    []string
+	now     func() time.Time
+}
+
+type workerState struct {
+	down      bool
+	failures  int // consecutive failures
+	lastErr   string
+	nextProbe time.Time
+	served    int64 // successful requests routed here (shards and probes)
+}
+
+// WorkerStatus is a point-in-time health snapshot, shaped for the
+// GET /fleet response.
+type WorkerStatus struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Failures int    `json:"failures,omitempty"`
+	// LastError is the most recent failure, kept after recovery until
+	// the next failure overwrites it.
+	LastError string `json:"lastError,omitempty"`
+	// NextProbeMillis is how long until a down worker is probed again
+	// (0 when healthy or already due).
+	NextProbeMillis int64 `json:"nextProbeMillis,omitempty"`
+	Served          int64 `json:"served"`
+}
+
+// NewRegistry tracks the given worker base URLs (trailing slashes are
+// normalized away; duplicates collapse). All workers start healthy.
+func NewRegistry(urls []string) *Registry {
+	g := &Registry{workers: map[string]*workerState{}, now: time.Now}
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if _, ok := g.workers[u]; ok {
+			continue
+		}
+		g.workers[u] = &workerState{}
+		g.urls = append(g.urls, u)
+	}
+	return g
+}
+
+// SetClock injects a deterministic clock for tests.
+func (g *Registry) SetClock(now func() time.Time) {
+	g.mu.Lock()
+	g.now = now
+	g.mu.Unlock()
+}
+
+// URLs returns the registered worker URLs in registration order.
+func (g *Registry) URLs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.urls...)
+}
+
+// Usable reports whether a shard request may be routed to url: the
+// worker is healthy, or it is down and its backoff has elapsed (the
+// request itself is the probe).
+func (g *Registry) Usable(url string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[url]
+	if !ok {
+		return false
+	}
+	return !w.down || !g.now().Before(w.nextProbe)
+}
+
+// probeDue reports whether url is down with an elapsed backoff — the
+// candidates ProbeDown re-checks.
+func (g *Registry) probeDue(url string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[url]
+	return ok && w.down && !g.now().Before(w.nextProbe)
+}
+
+// MarkUp records a successful request to url, clearing its failure
+// state.
+func (g *Registry) MarkUp(url string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[url]
+	if !ok {
+		return
+	}
+	w.down = false
+	w.failures = 0
+	w.nextProbe = time.Time{}
+	w.served++
+}
+
+// MarkDown records a failed request to url and schedules its next probe
+// with exponential backoff.
+func (g *Registry) MarkDown(url string, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.workers[url]
+	if !ok {
+		return
+	}
+	w.down = true
+	w.failures++
+	if err != nil {
+		w.lastErr = err.Error()
+	}
+	delay := baseBackoff
+	for i := 1; i < w.failures && delay < maxBackoff; i++ {
+		delay *= 2
+	}
+	if delay > maxBackoff {
+		delay = maxBackoff
+	}
+	w.nextProbe = g.now().Add(delay)
+}
+
+// Status snapshots every worker's health in registration order.
+func (g *Registry) Status() []WorkerStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.now()
+	out := make([]WorkerStatus, 0, len(g.urls))
+	for _, u := range g.urls {
+		w := g.workers[u]
+		st := WorkerStatus{
+			URL:       u,
+			Healthy:   !w.down,
+			Failures:  w.failures,
+			LastError: w.lastErr,
+			Served:    w.served,
+		}
+		if w.down && w.nextProbe.After(now) {
+			st.NextProbeMillis = int64(w.nextProbe.Sub(now) / time.Millisecond)
+		}
+		out = append(out, st)
+	}
+	return out
+}

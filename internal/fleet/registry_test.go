@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRegistryBackoff(t *testing.T) {
+	g := NewRegistry([]string{"http://a/", "http://a", ""})
+	if got := g.URLs(); len(got) != 1 || got[0] != "http://a" {
+		t.Fatalf("URLs = %v, want the one normalized worker", got)
+	}
+	now := time.Unix(1000, 0)
+	g.SetClock(func() time.Time { return now })
+
+	if !g.Usable("http://a") {
+		t.Fatal("fresh worker not usable")
+	}
+	g.MarkDown("http://a", errors.New("boom"))
+	if g.Usable("http://a") {
+		t.Fatal("worker usable immediately after failure")
+	}
+	// First failure: probe due after baseBackoff.
+	now = now.Add(baseBackoff)
+	if !g.Usable("http://a") {
+		t.Fatal("worker not usable after base backoff elapsed")
+	}
+	// Second consecutive failure doubles the delay.
+	g.MarkDown("http://a", errors.New("boom again"))
+	now = now.Add(baseBackoff)
+	if g.Usable("http://a") {
+		t.Fatal("worker usable after only base backoff on second failure")
+	}
+	now = now.Add(baseBackoff) // total 2×base
+	if !g.Usable("http://a") {
+		t.Fatal("worker not usable after doubled backoff")
+	}
+
+	// Many failures cap at maxBackoff.
+	for i := 0; i < 20; i++ {
+		g.MarkDown("http://a", nil)
+	}
+	st := g.Status()[0]
+	if st.Healthy {
+		t.Fatal("status reports a down worker healthy")
+	}
+	if st.NextProbeMillis > int64(maxBackoff/time.Millisecond) {
+		t.Fatalf("backoff %dms exceeds the %v cap", st.NextProbeMillis, maxBackoff)
+	}
+	if st.Failures != 22 {
+		t.Fatalf("failures = %d, want 22", st.Failures)
+	}
+	if st.LastError != "boom again" {
+		t.Fatalf("lastError = %q, want the most recent non-nil error", st.LastError)
+	}
+
+	// Success clears failure state but keeps the last error for the
+	// status page.
+	g.MarkUp("http://a")
+	st = g.Status()[0]
+	if !st.Healthy || st.Failures != 0 || st.NextProbeMillis != 0 {
+		t.Fatalf("recovered worker status = %+v", st)
+	}
+	if st.Served != 1 {
+		t.Fatalf("served = %d, want 1", st.Served)
+	}
+}
+
+func TestRegistryUnknownWorker(t *testing.T) {
+	g := NewRegistry([]string{"http://a"})
+	if g.Usable("http://b") {
+		t.Fatal("unknown worker reported usable")
+	}
+	g.MarkUp("http://b")
+	g.MarkDown("http://b", nil)
+	if len(g.Status()) != 1 {
+		t.Fatal("marking an unknown worker grew the registry")
+	}
+}

@@ -1,0 +1,118 @@
+// Package fleet is the distributed-release transport: a coordinator
+// amserve routes per-shard inference of sharded plans to worker
+// amserves over HTTP. The package owns the pieces that make that safe
+// and deterministic — consistent-hash shard placement (Ring), worker
+// health tracking with exponential probe backoff (Registry), the
+// retrying shard client (Client) with its self-verifying binary vector
+// wire format, and a deterministic fault-injection transport
+// (FaultRoundTripper) for testing every failure mode.
+//
+// The wire contract is the plan ID: the content address
+// (planstore.EntryID) of the coordinator's cache key for the plan. A
+// worker that does not hold the plan fetches it from the coordinator's
+// GET /plans/{id}/raw and verifies the bytes against the ID, so the
+// transfer needs no further trust. Shard placement hashes (planID,
+// shard) onto the ring; the solve itself is deterministic, so a remote
+// shard returns bit-identical estimates to a local one as long as the
+// float bits round-trip exactly — which the binary vector format
+// guarantees (raw IEEE-754 bits, FNV-64a checksummed).
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per worker. More replicas
+// smooth the key distribution and shrink the fraction of keys that move
+// on membership change toward the ideal 1/N.
+const DefaultReplicas = 128
+
+// Ring is a consistent-hash ring over worker URLs. Construction is a
+// pure function of the worker set (workers are sorted, hashing is
+// FNV-64a, no randomness), so two coordinators — or one coordinator
+// across restarts — place every shard identically.
+type Ring struct {
+	points  []ringPoint
+	workers []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+// NewRing builds a ring with replicas virtual nodes per worker (≤0
+// selects DefaultReplicas). The input order of workers is irrelevant.
+func NewRing(workers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	ws := append([]string(nil), workers...)
+	sort.Strings(ws)
+	r := &Ring{workers: ws, points: make([]ringPoint, 0, len(ws)*replicas)}
+	for wi, w := range ws {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(w + "#" + strconv.Itoa(v)),
+				worker: wi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding virtual nodes are ordered by worker index (already
+		// sorted by URL), keeping ties deterministic too.
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ShardKey is the placement key for one shard of one plan.
+func ShardKey(planID string, shard int) string {
+	return planID + "/" + strconv.Itoa(shard)
+}
+
+// Workers returns the ring's worker set in its canonical (sorted)
+// order.
+func (r *Ring) Workers() []string { return r.workers }
+
+// Place returns the worker that owns key, or "" on an empty ring.
+func (r *Ring) Place(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns every worker in ring-walk order starting at key's
+// position: the first entry owns the key, and the rest are the
+// deterministic failover order a client tries when earlier workers are
+// down.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.workers) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	seen := make([]bool, len(r.workers))
+	out := make([]string, 0, len(r.workers))
+	for k := 0; k < len(r.points) && len(out) < len(r.workers); k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, r.workers[p.worker])
+		}
+	}
+	return out
+}

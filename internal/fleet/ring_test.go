@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = ShardKey(fmt.Sprintf("plan%04d", i/4), i%4)
+	}
+	return keys
+}
+
+// Placement must be a pure function of the worker set: input order and
+// reconstruction (a coordinator restart) cannot move a single key.
+func TestRingPlacementDeterministic(t *testing.T) {
+	workers := []string{"http://c", "http://a", "http://b"}
+	shuffled := []string{"http://b", "http://c", "http://a"}
+	r1 := NewRing(workers, 0)
+	r2 := NewRing(shuffled, 0)
+	r3 := NewRing(workers, 0) // the "restart"
+	for _, key := range ringKeys(1000) {
+		p := r1.Place(key)
+		if got := r2.Place(key); got != p {
+			t.Fatalf("key %q: input order changed placement: %q vs %q", key, p, got)
+		}
+		if got := r3.Place(key); got != p {
+			t.Fatalf("key %q: reconstruction changed placement: %q vs %q", key, p, got)
+		}
+	}
+}
+
+// A worker joining moves only the keys it takes ownership of — roughly
+// 1/N of them — and every moved key moves TO the new worker. Nothing
+// reshuffles between the old workers.
+func TestRingJoinMovesOnlyToNewWorker(t *testing.T) {
+	old := []string{"http://a", "http://b", "http://c"}
+	grown := append(append([]string(nil), old...), "http://d")
+	before := NewRing(old, 0)
+	after := NewRing(grown, 0)
+	keys := ringKeys(1000)
+	moved := 0
+	for _, key := range keys {
+		b, a := before.Place(key), after.Place(key)
+		if b == a {
+			continue
+		}
+		moved++
+		if a != "http://d" {
+			t.Fatalf("key %q moved %q -> %q, not to the joining worker", key, b, a)
+		}
+	}
+	// Ideal is 1/4 of the keys; virtual nodes keep it near that. The
+	// bound only guards against a broken ring reshuffling everything.
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("join moved %d of %d keys, want roughly %d", moved, len(keys), len(keys)/4)
+	}
+}
+
+// A worker leaving moves only its own keys; everyone else's stay put.
+func TestRingLeaveMovesOnlyOrphans(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c", "http://d"}
+	shrunk := []string{"http://a", "http://b", "http://d"}
+	before := NewRing(all, 0)
+	after := NewRing(shrunk, 0)
+	for _, key := range ringKeys(1000) {
+		b, a := before.Place(key), after.Place(key)
+		if b != "http://c" && a != b {
+			t.Fatalf("key %q was owned by surviving %q but moved to %q", key, b, a)
+		}
+		if b == "http://c" && a == "http://c" {
+			t.Fatalf("key %q still placed on the departed worker", key)
+		}
+	}
+}
+
+// The failover sequence lists every worker exactly once, starting with
+// the owner, and is itself deterministic.
+func TestRingSequence(t *testing.T) {
+	workers := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(workers, 0)
+	for _, key := range ringKeys(100) {
+		seq := r.Sequence(key)
+		if len(seq) != len(workers) {
+			t.Fatalf("key %q: sequence has %d workers, want %d", key, len(seq), len(workers))
+		}
+		if seq[0] != r.Place(key) {
+			t.Fatalf("key %q: sequence starts at %q, owner is %q", key, seq[0], r.Place(key))
+		}
+		seen := map[string]bool{}
+		for _, w := range seq {
+			if seen[w] {
+				t.Fatalf("key %q: worker %q appears twice in %v", key, w, seq)
+			}
+			seen[w] = true
+		}
+		if !reflect.DeepEqual(seq, r.Sequence(key)) {
+			t.Fatalf("key %q: sequence not deterministic", key)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Place("anything"); got != "" {
+		t.Fatalf("empty ring placed %q", got)
+	}
+	if seq := r.Sequence("anything"); seq != nil {
+		t.Fatalf("empty ring sequence %v", seq)
+	}
+}
+
+// Virtual nodes must spread keys: no worker may own an outsized share.
+func TestRingBalance(t *testing.T) {
+	workers := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(workers, 0)
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, key := range keys {
+		counts[r.Place(key)]++
+	}
+	for _, w := range workers {
+		share := float64(counts[w]) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("worker %q owns %.0f%% of keys; distribution %v", w, share*100, counts)
+		}
+	}
+}

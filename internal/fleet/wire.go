@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// The shard wire format. Per-shard inference exchanges two float64
+// vectors (noisy measurements out, sub-domain estimate back); for the
+// distributed release to be bit-identical to the local one, those bits
+// must round-trip exactly — JSON float formatting would not. A vector
+// is framed as
+//
+//	"AMFV" | uvarint count | count × 8 bytes little-endian IEEE-754 bits | 8 bytes LE FNV-64a
+//
+// with the checksum taken over the float bytes. A truncated or
+// corrupted body fails the checksum (or the length arithmetic) and is
+// treated as a failed request — the coordinator retries or falls back
+// locally, so an injected fault can change latency but never bits.
+
+// vecMagic frames shard measurement/estimate vectors.
+const vecMagic = "AMFV"
+
+// AppendVector appends the wire encoding of vals to dst.
+func AppendVector(dst []byte, vals []float64) []byte {
+	dst = append(dst, vecMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	start := len(dst)
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	h := fnv.New64a()
+	h.Write(dst[start:])
+	return binary.LittleEndian.AppendUint64(dst, h.Sum64())
+}
+
+// DecodeVectorInto decodes a wire-encoded vector into dst, which must
+// have exactly the expected length — the caller always knows the
+// shard's dimensions, so a count mismatch is a protocol error, not a
+// resize.
+func DecodeVectorInto(dst []float64, blob []byte) error {
+	if len(blob) < len(vecMagic) || string(blob[:len(vecMagic)]) != vecMagic {
+		return fmt.Errorf("fleet: not a shard vector (bad magic)")
+	}
+	rest := blob[len(vecMagic):]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("fleet: truncated shard vector header")
+	}
+	rest = rest[n:]
+	if count != uint64(len(dst)) {
+		return fmt.Errorf("fleet: shard vector carries %d values, want %d", count, len(dst))
+	}
+	if len(rest) != 8*len(dst)+8 {
+		return fmt.Errorf("fleet: shard vector is %d payload bytes, want %d (truncated or padded)",
+			len(rest), 8*len(dst)+8)
+	}
+	floats, sum := rest[:8*len(dst)], rest[8*len(dst):]
+	h := fnv.New64a()
+	h.Write(floats)
+	if binary.LittleEndian.Uint64(sum) != h.Sum64() {
+		return fmt.Errorf("fleet: shard vector checksum mismatch (corrupt body)")
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(floats[8*i:]))
+	}
+	return nil
+}

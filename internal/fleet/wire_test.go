@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWireRoundTripExactBits(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1.5, -math.Pi, math.MaxFloat64,
+		math.SmallestNonzeroFloat64, math.Inf(1), math.Inf(-1), math.NaN()}
+	blob := AppendVector(nil, vals)
+	got := make([]float64, len(vals))
+	if err := DecodeVectorInto(got, blob); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: bits %016x round-tripped to %016x",
+				i, math.Float64bits(vals[i]), math.Float64bits(got[i]))
+		}
+	}
+}
+
+func TestWireRejectsDamage(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	blob := AppendVector(nil, vals)
+	dst := make([]float64, len(vals))
+
+	cases := map[string][]byte{
+		"truncated":   blob[:len(blob)/2],
+		"padded":      append(append([]byte(nil), blob...), 0),
+		"bad magic":   append([]byte("XXXX"), blob[4:]...),
+		"empty":       nil,
+		"header only": blob[:5],
+	}
+	for name, damaged := range cases {
+		if err := DecodeVectorInto(dst, damaged); err == nil {
+			t.Fatalf("%s body decoded without error", name)
+		}
+	}
+
+	// One flipped payload bit must fail the checksum.
+	corrupt := append([]byte(nil), blob...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	if err := DecodeVectorInto(dst, corrupt); err == nil {
+		t.Fatal("corrupted body decoded without error")
+	}
+
+	// Count mismatch: the caller knows the dimensions.
+	if err := DecodeVectorInto(make([]float64, 3), blob); err == nil {
+		t.Fatal("length-3 decode of a 4-vector succeeded")
+	}
+}

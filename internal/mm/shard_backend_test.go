@@ -1,0 +1,144 @@
+package mm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// loopbackBackend routes each shard back into the mechanism's own local
+// solver — the smallest possible "remote" fleet, exercising the full
+// backend code path (slicing, concurrency, error plumbing) with no
+// network.
+type loopbackBackend struct {
+	m     *Mechanism
+	calls atomic.Int64
+	fail  int // shard index to fail, -1 for none
+}
+
+func (b *loopbackBackend) InferShard(shard int, dst, y []float64) error {
+	b.calls.Add(1)
+	if shard == b.fail {
+		return fmt.Errorf("injected backend failure")
+	}
+	return b.m.InferShardLocal(shard, dst, y)
+}
+
+// A release through a shard backend must be bit-identical to the plain
+// sharded release on the same seeded noise stream: the backend swaps
+// who runs the deterministic per-shard solve, nothing else.
+func TestShardBackendBitIdentical(t *testing.T) {
+	shards, full := buildCellShards(t)
+	sm, err := NewShardedMechanism(full, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Privacy{Epsilon: 0.5, Delta: 1e-4}
+	x := []float64{5, 1, 3, 2, 8, 1}
+	const seed = 17
+
+	base, err := sm.AnswerGaussian(full, x, p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := &loopbackBackend{m: sm, fail: -1}
+	if err := sm.SetShardBackend(b); err != nil {
+		t.Fatal(err)
+	}
+	if sm.ShardBackend() == nil {
+		t.Fatal("backend not attached")
+	}
+	viaBackend, err := sm.AnswerGaussian(full, x, p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.calls.Load() != int64(len(shards)) {
+		t.Fatalf("backend served %d shards, want %d", b.calls.Load(), len(shards))
+	}
+	if len(base) != len(viaBackend) {
+		t.Fatalf("answer lengths differ: %d vs %d", len(base), len(viaBackend))
+	}
+	for i := range base {
+		if math.Float64bits(base[i]) != math.Float64bits(viaBackend[i]) {
+			t.Fatalf("answer %d: local bits %016x, backend bits %016x",
+				i, math.Float64bits(base[i]), math.Float64bits(viaBackend[i]))
+		}
+	}
+
+	// Detaching restores the local shard workers.
+	if err := sm.SetShardBackend(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sm.ShardBackend() != nil {
+		t.Fatal("backend still attached after detach")
+	}
+	detached, err := sm.AnswerGaussian(full, x, p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if math.Float64bits(base[i]) != math.Float64bits(detached[i]) {
+			t.Fatalf("answer %d changed after detach", i)
+		}
+	}
+}
+
+// A backend error fails the release with the shard identified; the
+// mechanism stays usable afterwards.
+func TestShardBackendErrorPropagates(t *testing.T) {
+	shards, full := buildCellShards(t)
+	sm, err := NewShardedMechanism(full, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.SetShardBackend(&loopbackBackend{m: sm, fail: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := Privacy{Epsilon: 0.5, Delta: 1e-4}
+	x := []float64{5, 1, 3, 2, 8, 1}
+	if _, err := sm.AnswerGaussian(full, x, p, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("release succeeded despite a failing shard backend")
+	}
+	if err := sm.SetShardBackend(&loopbackBackend{m: sm, fail: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.AnswerGaussian(full, x, p, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("mechanism unusable after a failed backend release: %v", err)
+	}
+}
+
+func TestShardDimsAndLocalValidation(t *testing.T) {
+	shards, full := buildCellShards(t)
+	sm, err := NewShardedMechanism(full, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cells, err := sm.ShardDims(0)
+	if err != nil || rows != 4 || cells != 3 {
+		t.Fatalf("ShardDims(0) = (%d, %d, %v), want (4, 3, nil)", rows, cells, err)
+	}
+	if _, _, err := sm.ShardDims(-1); err == nil {
+		t.Fatal("negative shard index accepted")
+	}
+	if _, _, err := sm.ShardDims(len(shards)); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if err := sm.InferShardLocal(0, make([]float64, 2), make([]float64, 4)); err == nil {
+		t.Fatal("wrong dst length accepted")
+	}
+	if err := sm.InferShardLocal(0, make([]float64, 3), make([]float64, 1)); err == nil {
+		t.Fatal("wrong y length accepted")
+	}
+
+	// Non-sharded mechanisms have no shards to route.
+	plain := shards[0].Mechanism
+	if err := plain.SetShardBackend(&loopbackBackend{}); err == nil {
+		t.Fatal("backend attached to a non-sharded mechanism")
+	}
+	if _, _, err := plain.ShardDims(0); err == nil {
+		t.Fatal("ShardDims on a non-sharded mechanism succeeded")
+	}
+}

@@ -1,0 +1,165 @@
+package planstore
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// GetRaw/ImportRaw are the fleet's plan-distribution channel: raw entry
+// bytes exported from one store must install verbatim into another
+// under the same content address and decode to an equivalent plan.
+func TestRawExportImportRoundTrip(t *testing.T) {
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := quotaPlan(t)
+	key := CanonicalKey("raw:roundtrip", 1, "fp")
+	meta, err := src.Put(key, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := src.GetRaw(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := dst.ImportRaw(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.ID != meta.ID || imported.Key != key {
+		t.Fatalf("imported identity (%s, %s), want (%s, %s)", imported.ID, imported.Key, meta.ID, key)
+	}
+	got, gotMeta, err := dst.Load(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.Key != key {
+		t.Fatalf("loaded key %q, want %q", gotMeta.Key, key)
+	}
+	// The imported plan must release identically to the original on the
+	// same seeded noise stream.
+	x := make([]float64, plan.Workload.Cells())
+	for i := range x {
+		x[i] = float64(i % 5)
+	}
+	want, err := plan.Mechanism.AnswerGaussian(plan.Workload, x, testPrivacy, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Mechanism.AnswerGaussian(got.Workload, x, testPrivacy, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(have[i]) {
+			t.Fatalf("answer %d differs after raw transfer", i)
+		}
+	}
+}
+
+func TestRawRejectsDamage(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Put(CanonicalKey("raw:damage", 1, "fp"), quotaPlan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.GetRaw(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), blob...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	if _, err := other.ImportRaw(corrupt); err == nil {
+		t.Fatal("corrupted entry imported")
+	}
+	if _, err := other.ImportRaw(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated entry imported")
+	}
+
+	// Missing and invalid ids.
+	if _, err := s.GetRaw("000000000000000000000000"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing entry: err = %v, want ErrNotExist", err)
+	}
+	if _, err := s.GetRaw("../escape"); err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("invalid id: err = %v, want a validation error", err)
+	}
+	if _, err := s.Stat("not-hex"); err == nil {
+		t.Fatal("Stat accepted an invalid id")
+	}
+}
+
+func TestStatReadsMetaWithoutPayload(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Put(CanonicalKey("raw:stat", 1, "fp"), quotaPlan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stat(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != meta.ID || st.Key != meta.Key || st.Generator != meta.Generator {
+		t.Fatalf("Stat = %+v, want %+v", st, meta)
+	}
+	if _, err := s.Stat("ffffffffffffffffffffffff"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing entry: err = %v, want ErrNotExist", err)
+	}
+}
+
+// The store remembers what its quota evicted, so a reader racing the GC
+// can distinguish "evicted just now" from "never existed" — the
+// List-then-Load race the HTTP layer turns into a 404 with a hint.
+func TestEvictedTracking(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := quotaPlan(t)
+	meta, err := s.Put(CanonicalKey("raw:evict", 1, "fp"), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Evicted(meta.ID); ok {
+		t.Fatal("live entry reported evicted")
+	}
+	// A 1-byte quota evicts everything.
+	s.SetQuota(1, nil)
+	if planExists(t, s, meta.ID) {
+		t.Fatal("entry survived a 1-byte quota")
+	}
+	if _, ok := s.Evicted(meta.ID); !ok {
+		t.Fatal("evicted entry not remembered")
+	}
+	if _, ok := s.Evicted("ffffffffffffffffffffffff"); ok {
+		t.Fatal("never-existing id reported evicted")
+	}
+	// Re-persisting the same key clears the eviction record.
+	s.SetQuota(0, nil)
+	if _, err := s.Put(CanonicalKey("raw:evict", 1, "fp"), plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Evicted(meta.ID); ok {
+		t.Fatal("re-persisted entry still reported evicted")
+	}
+}

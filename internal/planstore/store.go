@@ -74,6 +74,15 @@ const (
 	maxEntryBytes = 256 << 20
 )
 
+// MaxEntryBytes is the store's entry-size bound, exported so plan
+// fetchers (a fleet worker pulling from its coordinator) can cap their
+// reads identically.
+const MaxEntryBytes = maxEntryBytes
+
+// maxEvictedRecords bounds the evicted-id memory; past it, the oldest
+// records are forgotten (their IDs then report a plain not-found).
+const maxEvictedRecords = 4096
+
 // Meta describes one stored plan without decoding its operators.
 type Meta struct {
 	// ID is the entry's content address (hex SHA-256 prefix of the key)
@@ -129,6 +138,14 @@ type Store struct {
 	quota  int64
 	served map[string]time.Time
 	logf   func(format string, args ...any)
+
+	// evicted remembers quota evictions (bounded), so a reader racing
+	// the GC — List saw the entry, the quota removed it, then the read
+	// lands — can be told the entry was evicted rather than left to
+	// treat the miss as store corruption. Re-persisting an entry clears
+	// its record.
+	evicted      map[string]time.Time
+	evictedOrder []string
 }
 
 // Open ensures the directory exists and returns the store.
@@ -158,6 +175,7 @@ func (s *Store) Put(key string, plan *planner.Plan) (Meta, error) {
 		return Meta{}, err
 	}
 	meta.SizeBytes = int64(len(blob))
+	s.clearEvicted(meta.ID)
 	s.Touch(meta.ID)
 	s.enforceQuota()
 	return meta, nil
@@ -246,9 +264,51 @@ func (s *Store) enforceQuota() {
 		}
 		total -= c.size
 		delete(s.served, c.id)
+		s.recordEvicted(c.id)
 		logf("planstore: quota eviction: removed %s (%d bytes, last served %s); plans exceeded the %d-byte quota",
 			c.id, c.size, c.last.UTC().Format(time.RFC3339), s.quota)
 	}
+}
+
+// recordEvicted remembers a quota eviction; caller holds s.mu.
+func (s *Store) recordEvicted(id string) {
+	if s.evicted == nil {
+		s.evicted = map[string]time.Time{}
+	}
+	if _, ok := s.evicted[id]; !ok {
+		s.evictedOrder = append(s.evictedOrder, id)
+	}
+	s.evicted[id] = time.Now()
+	for len(s.evictedOrder) > maxEvictedRecords {
+		delete(s.evicted, s.evictedOrder[0])
+		s.evictedOrder = s.evictedOrder[1:]
+	}
+}
+
+// clearEvicted drops an id's eviction record after it is re-persisted.
+func (s *Store) clearEvicted(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.evicted[id]; !ok {
+		return
+	}
+	delete(s.evicted, id)
+	for i, e := range s.evictedOrder {
+		if e == id {
+			s.evictedOrder = append(s.evictedOrder[:i], s.evictedOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Evicted reports whether id was removed by quota enforcement, and
+// when. It distinguishes "the quota GC took it" from "never existed"
+// for readers that raced an eviction (List, then GET of a listed id).
+func (s *Store) Evicted(id string) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.evicted[id]
+	return t, ok
 }
 
 // writeAtomic writes through a temp file and a rename so a crash cannot
@@ -298,6 +358,55 @@ func (s *Store) Load(id string) (*planner.Plan, Meta, error) {
 	}
 	meta.SizeBytes = int64(len(blob))
 	return plan, meta, nil
+}
+
+// GetRaw returns the verified raw bytes of one entry — the fleet's
+// plan-distribution payload (GET /plans/{id}/raw). The envelope
+// checksum is verified before the bytes are served, so a corrupted file
+// is an error here, never a corrupt transfer; the fetcher re-verifies
+// against the content address, making the transfer self-checking end to
+// end. A missing entry's error unwraps to os.ErrNotExist.
+func (s *Store) GetRaw(id string) ([]byte, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("planstore: invalid entry id %q", id)
+	}
+	blob, err := readBounded(filepath.Join(s.dir, id+planExt))
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := decodeEnvelope(blob); err != nil {
+		return nil, fmt.Errorf("planstore: %s: %w", id+planExt, err)
+	}
+	return blob, nil
+}
+
+// ImportRaw verifies and installs a complete encoded entry under its
+// own content address — the worker-side half of plan distribution. The
+// envelope (magic, format version, checksum) is verified and the entry
+// lands at EntryID(key) regardless of what the sender claimed, so a
+// store can only ever hold entries consistent with their address.
+func (s *Store) ImportRaw(blob []byte) (Meta, error) {
+	meta, _, err := decodeEnvelope(blob)
+	if err != nil {
+		return Meta{}, fmt.Errorf("planstore: importing entry: %w", err)
+	}
+	if err := s.writeAtomic(filepath.Join(s.dir, meta.ID+planExt), blob); err != nil {
+		return Meta{}, err
+	}
+	meta.SizeBytes = int64(len(blob))
+	s.clearEvicted(meta.ID)
+	s.Touch(meta.ID)
+	s.enforceQuota()
+	return meta, nil
+}
+
+// Stat returns one entry's metadata without reading its payload. A
+// missing entry's error unwraps to os.ErrNotExist.
+func (s *Store) Stat(id string) (Meta, error) {
+	if !ValidID(id) {
+		return Meta{}, fmt.Errorf("planstore: invalid entry id %q", id)
+	}
+	return readMetaHeader(filepath.Join(s.dir, id+planExt))
 }
 
 // Delete removes one entry by ID. Deleting an absent entry errors.
@@ -426,13 +535,18 @@ func (s *Store) ids() ([]string, error) {
 	return ids, nil
 }
 
-func validID(id string) bool {
+// ValidID reports whether id has the shape of an entry content address
+// (24 hex characters) — the gate every by-id lookup applies before
+// touching the filesystem.
+func ValidID(id string) bool {
 	if len(id) != 24 {
 		return false
 	}
 	_, err := hex.DecodeString(id)
 	return err == nil
 }
+
+func validID(id string) bool { return ValidID(id) }
 
 func readBounded(path string) ([]byte, error) {
 	fi, err := os.Stat(path)

@@ -1,0 +1,382 @@
+package server
+
+// Distributed release fleet. A coordinator server routes the per-shard
+// inference of sharded plans to worker servers over HTTP; the wire
+// contract is the plan's content address (planstore.EntryID of its
+// cache key), so a worker that has never seen a plan fetches its
+// encoded entry from the coordinator (GET /plans/{id}/raw), verifies it
+// against the address, and caches it. Only the deterministic per-shard
+// solve moves to the worker — the coordinator draws the noise stream,
+// reserves the privacy budget once, and commits only after every shard
+// returns, so distributed answers are bit-identical to local ones and a
+// failed release refunds its entire reservation. A shard whose workers
+// are all down falls back to local inference (counted in "degraded"):
+// a dead worker degrades latency, never availability.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivemm/internal/fleet"
+	"adaptivemm/internal/mm"
+	"adaptivemm/internal/planner"
+	"adaptivemm/internal/planstore"
+)
+
+// defaultProbeInterval is how often a coordinator re-probes down
+// workers in the background when Options.FleetProbeInterval is 0. Under
+// traffic the shard requests themselves double as probes; the
+// background loop only matters for idle fleets.
+const defaultProbeInterval = 2 * time.Second
+
+// maxFetchedPlans bounds the worker-side cache of plans resolved by
+// content address (from the local store or fetched from the
+// coordinator); past it the oldest fetch is dropped and would be
+// re-fetched on next use.
+const maxFetchedPlans = 128
+
+// fleetState is the coordinator side of the fleet: the routing client
+// plus the background health-probe loop.
+type fleetState struct {
+	client *fleet.Client
+	// requireRemote disables the local-inference fallback so tests can
+	// prove what a release does when the fleet alone must answer.
+	requireRemote bool
+	// degraded counts shards served by local fallback after the fleet
+	// failed them.
+	degraded atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	probeWG  sync.WaitGroup
+}
+
+// workerFleetState is the worker side: where to fetch plans it has
+// never seen.
+type workerFleetState struct {
+	coordinator string
+	hc          *http.Client
+	// fetches counts plans fetched from the coordinator.
+	fetches atomic.Int64
+	// fetchMu single-flights coordinator fetches: concurrent shard
+	// requests for one unknown plan (the common case — every shard of a
+	// release lands at once) resolve with one transfer.
+	fetchMu sync.Mutex
+}
+
+// planRef ties a strategy entry to its plan-store identity so the
+// by-content-address lookups (shard requests, raw plan serving) reach
+// the same in-memory plan the strategy id serves.
+type planRef struct {
+	key string
+	ent *entry
+}
+
+// fleetShardBackend routes one sharded mechanism's per-shard inference
+// through the fleet, falling back to the local shard solver when the
+// fleet fails — the release is slower, never unavailable. It is
+// attached at design/rehydration time (see attachFleet) and holds no
+// per-release state, so concurrent releases share it.
+type fleetShardBackend struct {
+	s      *Server
+	mech   *mm.Mechanism
+	planID string
+}
+
+func (b *fleetShardBackend) InferShard(shard int, dst, y []float64) error {
+	fs := b.s.fleetSt
+	err := fs.client.InferShard(context.Background(), b.planID, shard, dst, y)
+	if err == nil {
+		return nil
+	}
+	if fs.requireRemote {
+		return err
+	}
+	fs.degraded.Add(1)
+	b.s.logf("server: shard %d of plan %s served locally after fleet error: %v", shard, b.planID, err)
+	return b.mech.InferShardLocal(shard, dst, y)
+}
+
+// attachFleet routes a sharded plan's inference through the fleet. A
+// no-op on non-coordinators, uncacheable (explicit-rows) designs, and
+// non-sharded plans — those have no per-shard work to distribute.
+func (s *Server) attachFleet(key string, ent *entry) {
+	if s.fleetSt == nil || key == "" {
+		return
+	}
+	mech := ent.plan.Mechanism
+	if mech.Shards() == nil {
+		return
+	}
+	b := &fleetShardBackend{s: s, mech: mech, planID: planstore.EntryID(key)}
+	if err := mech.SetShardBackend(b); err != nil {
+		s.logf("server: attaching fleet backend to plan %s: %v", b.planID, err)
+	}
+}
+
+// recordPlanID indexes a keyed strategy by its content address for the
+// by-id lookups. Caller holds s.mu.
+func (s *Server) recordPlanID(key string, ent *entry) {
+	if key == "" {
+		return
+	}
+	s.byID[planstore.EntryID(key)] = planRef{key: key, ent: ent}
+}
+
+// startFleetProbes runs the coordinator's background re-probe loop.
+func (s *Server) startFleetProbes(interval time.Duration) {
+	fs := s.fleetSt
+	fs.probeWG.Add(1)
+	go func() {
+		defer fs.probeWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-fs.stop:
+				return
+			case <-t.C:
+				fs.client.ProbeDown(context.Background())
+			}
+		}
+	}()
+}
+
+// stopFleet stops the probe loop and waits for it. Safe without a
+// fleet and safe to call more than once.
+func (s *Server) stopFleet() {
+	if s.fleetSt == nil {
+		return
+	}
+	s.fleetSt.stopOnce.Do(func() { close(s.fleetSt.stop) })
+	s.fleetSt.probeWG.Wait()
+}
+
+// --- worker shard endpoint ---
+
+// handleShard serves POST /shards/{planID}/{shard}: decode the noisy
+// measurement vector, solve the shard with the plan's own deterministic
+// inference, and return the sub-domain estimate — both vectors in the
+// exact-bits wire framing, so the distributed release reproduces the
+// local one bit for bit.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	id, shardStr, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/shards/"), "/")
+	shard, convErr := strconv.Atoi(shardStr)
+	if !ok || convErr != nil || shard < 0 || !planstore.ValidID(id) {
+		httpError(w, http.StatusBadRequest, "POST /shards/{planID}/{shard} with a plan content address and a shard index")
+		return
+	}
+	mech, rerr := s.resolvePlanByID(id)
+	if rerr != nil {
+		writeReleaseError(w, rerr)
+		return
+	}
+	rows, cells, err := mech.ShardDims(shard)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	blob, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "shard vector exceeds the %d-byte cap", mbe.Limit)
+		} else {
+			httpError(w, http.StatusBadRequest, "reading shard vector: %v", err)
+		}
+		return
+	}
+	y := make([]float64, rows)
+	if err := fleet.DecodeVectorInto(y, blob); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dst := make([]float64, cells)
+	if err := mech.InferShardLocal(shard, dst, y); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "shard %d inference: %v", shard, err)
+		return
+	}
+	s.shardRequests.Add(1)
+	out := fleet.AppendVector(make([]byte, 0, 16+8*len(dst)+8), dst)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	_, _ = w.Write(out)
+}
+
+// resolvePlanByID resolves a plan content address to its mechanism:
+// first the strategies designed or rehydrated here, then the bounded
+// fetched-plan cache, then the local store, and finally — on a worker —
+// a fetch from the coordinator.
+func (s *Server) resolvePlanByID(id string) (*mm.Mechanism, *releaseError) {
+	s.mu.RLock()
+	ref, ok := s.byID[id]
+	s.mu.RUnlock()
+	if ok {
+		return ref.ent.plan.Mechanism, nil
+	}
+	s.fetchedMu.Lock()
+	plan, ok := s.fetched[id]
+	s.fetchedMu.Unlock()
+	if ok {
+		return plan.Mechanism, nil
+	}
+	if s.store != nil {
+		if plan, _, err := s.store.Load(id); err == nil {
+			s.cacheFetched(id, plan)
+			return plan.Mechanism, nil
+		}
+	}
+	if s.workerSt != nil {
+		s.workerSt.fetchMu.Lock()
+		defer s.workerSt.fetchMu.Unlock()
+		// Re-check the cache: a concurrent shard request may have fetched
+		// the plan while this one waited for the fetch lock.
+		s.fetchedMu.Lock()
+		plan, ok = s.fetched[id]
+		s.fetchedMu.Unlock()
+		if ok {
+			return plan.Mechanism, nil
+		}
+		plan, err := s.fetchPlan(id)
+		if err != nil {
+			return nil, releaseErrorf(http.StatusBadGateway, "fetching plan %s from coordinator: %v", id, err)
+		}
+		s.cacheFetched(id, plan)
+		return plan.Mechanism, nil
+	}
+	return nil, releaseErrorf(http.StatusNotFound, "no plan %q on this server", id)
+}
+
+// cacheFetched installs a by-address-resolved plan in the bounded FIFO
+// cache so repeated shard requests skip the store/coordinator.
+func (s *Server) cacheFetched(id string, plan *planner.Plan) {
+	s.fetchedMu.Lock()
+	defer s.fetchedMu.Unlock()
+	if s.fetched == nil {
+		s.fetched = map[string]*planner.Plan{}
+	}
+	if _, ok := s.fetched[id]; ok {
+		return
+	}
+	s.fetched[id] = plan
+	s.fetchedOrder = append(s.fetchedOrder, id)
+	for len(s.fetchedOrder) > maxFetchedPlans {
+		delete(s.fetched, s.fetchedOrder[0])
+		s.fetchedOrder = s.fetchedOrder[1:]
+	}
+}
+
+// fetchPlan pulls one encoded plan entry from the coordinator and
+// verifies it against its content address — the transfer is
+// self-checking, a corrupted or substituted entry cannot be installed.
+func (s *Server) fetchPlan(id string) (*planner.Plan, error) {
+	ws := s.workerSt
+	resp, err := ws.hc.Get(ws.coordinator + "/plans/" + id + "/raw")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("coordinator: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, planstore.MaxEntryBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) > planstore.MaxEntryBytes {
+		return nil, fmt.Errorf("coordinator sent more than the %d-byte entry cap", planstore.MaxEntryBytes)
+	}
+	plan, meta, err := planstore.DecodeEntry(blob)
+	if err != nil {
+		return nil, err
+	}
+	if planstore.EntryID(meta.Key) != id {
+		return nil, fmt.Errorf("entry content address is %s, want %s (corrupt or substituted transfer)",
+			planstore.EntryID(meta.Key), id)
+	}
+	ws.fetches.Add(1)
+	if s.store != nil {
+		// Durability is best-effort: the plan already serves from memory.
+		if _, err := s.store.ImportRaw(blob); err != nil {
+			s.logf("server: storing fetched plan %s: %v", id, err)
+		}
+	}
+	return plan, nil
+}
+
+// --- fleet status endpoint ---
+
+// shardStats is the coordinator's shard-routing counter block in the
+// GET /fleet response.
+type shardStats struct {
+	// Remote counts shards answered by a worker.
+	Remote int64 `json:"remote"`
+	// Retries counts failover attempts past each shard's first.
+	Retries int64 `json:"retries"`
+	// Failures counts failed attempts (each marked its worker down).
+	Failures int64 `json:"failures"`
+	// Degraded counts shards served by local fallback after the fleet
+	// failed them.
+	Degraded int64 `json:"degraded"`
+}
+
+type fleetResponse struct {
+	// Mode is "coordinator", "worker" or "standalone".
+	Mode string `json:"mode"`
+	// Workers is the coordinator's per-worker health snapshot.
+	Workers []fleet.WorkerStatus `json:"workers,omitempty"`
+	// Shards is the coordinator's routing counters.
+	Shards *shardStats `json:"shards,omitempty"`
+	// Coordinator is the worker's coordinator base URL.
+	Coordinator string `json:"coordinator,omitempty"`
+	// ShardRequests counts POST /shards served by this process.
+	ShardRequests int64 `json:"shardRequests"`
+	// PlanFetches counts plans fetched from the coordinator.
+	PlanFetches int64 `json:"planFetches,omitempty"`
+	// CachedPlans is the fetched-plan cache's current size.
+	CachedPlans int `json:"cachedPlans,omitempty"`
+}
+
+// handleFleet serves GET /fleet: the fleet role plus its health and
+// routing counters. It doubles as the health-probe target — a worker
+// answering it is back in rotation.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := fleetResponse{Mode: "standalone", ShardRequests: s.shardRequests.Load()}
+	switch {
+	case s.fleetSt != nil:
+		st := s.fleetSt.client.Stats()
+		resp.Mode = "coordinator"
+		resp.Workers = s.fleetSt.client.Registry.Status()
+		resp.Shards = &shardStats{
+			Remote:   st.Remote,
+			Retries:  st.Retries,
+			Failures: st.Failures,
+			Degraded: s.fleetSt.degraded.Load(),
+		}
+	case s.workerSt != nil:
+		resp.Mode = "worker"
+		resp.Coordinator = s.workerSt.coordinator
+		resp.PlanFetches = s.workerSt.fetches.Load()
+		s.fetchedMu.Lock()
+		resp.CachedPlans = len(s.fetched)
+		s.fetchedMu.Unlock()
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,545 @@
+package server
+
+// The distributed-fleet equivalence harness: an in-process coordinator
+// plus worker Servers wired over real loopback HTTP, with a
+// deterministic fault-injecting transport between them. The pinned
+// property throughout: a sharded release routed through the fleet is
+// bit-identical (math.Float64bits) to the same release solved locally
+// on the same seeded noise stream — under every injected failure mode —
+// and a release that fails settles its entire budget reservation.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivemm/internal/fleet"
+	"adaptivemm/internal/mm"
+)
+
+// swapHandler lets a httptest server exist (its URL known) before the
+// Server that will answer on it — breaking the coordinator/worker
+// bootstrap cycle: workers need the coordinator's URL, the coordinator
+// needs the workers' URLs.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) Set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "worker not wired yet", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// fleetHarness is one coordinator + n workers on loopback HTTP.
+type fleetHarness struct {
+	coord    *Server
+	coordTS  *httptest.Server
+	workers  []*Server
+	workerTS []*httptest.Server
+	rt       *fleet.FaultRoundTripper
+}
+
+// newFleetHarness builds the fleet. sched is the coordinator-side fault
+// schedule (nil = fault-free); background probes are disabled so the
+// schedule's request counter stays deterministic. coordOpts customizes
+// the coordinator (store, RequireRemote, ...); fleet wiring fields are
+// overwritten.
+func newFleetHarness(t *testing.T, nWorkers int, sched fleet.Schedule, coordOpts Options) *fleetHarness {
+	t.Helper()
+	h := &fleetHarness{rt: &fleet.FaultRoundTripper{Schedule: sched}}
+	swaps := make([]*swapHandler, nWorkers)
+	urls := make([]string, nWorkers)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		h.workerTS = append(h.workerTS, ts)
+		urls[i] = ts.URL
+	}
+	coordOpts.FleetWorkers = urls
+	coordOpts.FleetTransport = h.rt
+	coordOpts.FleetProbeInterval = -1
+	if coordOpts.ShardTimeout == 0 {
+		coordOpts.ShardTimeout = 2 * time.Second
+	}
+	if coordOpts.Logf == nil {
+		coordOpts.Logf = t.Logf
+	}
+	coord, err := Open(coordOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	h.coord = coord
+	h.coordTS = httptest.NewServer(coord.Handler())
+	t.Cleanup(h.coordTS.Close)
+	for i := range swaps {
+		w, err := Open(Options{CoordinatorURL: h.coordTS.URL, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		h.workers = append(h.workers, w)
+		swaps[i].Set(w.Handler())
+	}
+	return h
+}
+
+// designSharded designs the harness's canonical sharded workload (two
+// marginal blocks over an 8×8 domain) and returns the strategy id.
+func (h *fleetHarness) designSharded(t *testing.T) string {
+	t.Helper()
+	dr := designSpecOn(t, h.coordTS, `{"workload":"marginals:1:8x8"}`)
+	if dr.Planner.Generator != "sharded" {
+		t.Fatalf("marginals:1:8x8 won generator %q, want sharded", dr.Planner.Generator)
+	}
+	return dr.Strategy
+}
+
+// mech returns the strategy's mechanism for backend attach/detach.
+func (h *fleetHarness) mech(t *testing.T, strategy string) *mm.Mechanism {
+	t.Helper()
+	h.coord.mu.RLock()
+	ent := h.coord.strategies[strategy]
+	h.coord.mu.RUnlock()
+	if ent == nil {
+		t.Fatalf("strategy %q not on the coordinator", strategy)
+	}
+	return ent.plan.Mechanism
+}
+
+// seededHistogram is the 64-cell release input every equivalence test
+// shares.
+func seededHistogram() []float64 {
+	hist := make([]float64, 64)
+	for i := range hist {
+		hist[i] = float64((i*7)%11) + 0.5
+	}
+	return hist
+}
+
+// answerSeeded releases strategy against an inline histogram with a
+// pinned seed and returns the answers. Shortest-round-trip JSON floats
+// preserve the exact bits, so answers compare bit-identically.
+func answerSeeded(t *testing.T, ts *httptest.Server, strategy string, hist []float64, seed int64) []float64 {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"strategy": strategy, "dataset": "equiv", "histogram": hist,
+		"epsilon": 0.5, "delta": 1e-4, "seed": seed,
+	})
+	resp, err := http.Post(ts.URL+"/answer", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Answers []float64 `json:"answers"`
+		Error   string    `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/answer: status %d: %s", resp.StatusCode, out.Error)
+	}
+	return out.Answers
+}
+
+// localBaseline answers the same release with the fleet detached — the
+// single-process sharded reference the distributed answers must match
+// bit for bit.
+func (h *fleetHarness) localBaseline(t *testing.T, strategy string, hist []float64, seed int64) []float64 {
+	t.Helper()
+	mech := h.mech(t, strategy)
+	b := mech.ShardBackend()
+	if b == nil {
+		t.Fatal("no fleet backend attached to the sharded strategy")
+	}
+	if err := mech.SetShardBackend(nil); err != nil {
+		t.Fatal(err)
+	}
+	base := answerSeeded(t, h.coordTS, strategy, hist, seed)
+	if err := mech.SetShardBackend(b); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func requireBitIdentical(t *testing.T, want, got []float64, context string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: answer lengths differ: %d vs %d", context, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: answer %d: local bits %016x, distributed bits %016x",
+				context, i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+		}
+	}
+}
+
+// fleetStatus fetches GET /fleet from any of the harness's servers.
+func fleetStatus(t *testing.T, ts *httptest.Server) fleetResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet: status %d", resp.StatusCode)
+	}
+	var fr fleetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// The core equivalence property: a release routed through two real HTTP
+// workers is bit-identical to the single-process sharded release on the
+// same seeded noise stream.
+func TestFleetDistributedBitIdentical(t *testing.T) {
+	h := newFleetHarness(t, 2, nil, Options{})
+	strategy := h.designSharded(t)
+	hist := seededHistogram()
+
+	base := h.localBaseline(t, strategy, hist, 7)
+	dist := answerSeeded(t, h.coordTS, strategy, hist, 7)
+	requireBitIdentical(t, base, dist, "fault-free fleet")
+
+	st := fleetStatus(t, h.coordTS)
+	if st.Mode != "coordinator" {
+		t.Fatalf("coordinator /fleet mode = %q", st.Mode)
+	}
+	if st.Shards == nil || st.Shards.Remote == 0 {
+		t.Fatalf("no shards answered remotely: %+v", st.Shards)
+	}
+	if st.Shards.Degraded != 0 {
+		t.Fatalf("fault-free fleet degraded %d shards", st.Shards.Degraded)
+	}
+	var served int64
+	for _, wts := range h.workerTS {
+		ws := fleetStatus(t, wts)
+		if ws.Mode != "worker" {
+			t.Fatalf("worker /fleet mode = %q", ws.Mode)
+		}
+		served += ws.ShardRequests
+	}
+	if served != st.Shards.Remote {
+		t.Fatalf("workers served %d shard requests, coordinator counted %d remote", served, st.Shards.Remote)
+	}
+}
+
+// Every injected failure mode must leave the answers bit-identical to
+// the local baseline: faults may move a shard to another worker
+// (retries) or back to the coordinator (degraded), never change bits.
+func TestFleetFaultSchedulesBitIdentical(t *testing.T) {
+	shardsOnly := func(f fleet.Fault) fleet.Schedule {
+		return fleet.PathSchedule(func(p string) bool { return strings.HasPrefix(p, "/shards/") }, f)
+	}
+	cases := []struct {
+		name string
+		// sched decides each coordinator-side request's fault.
+		sched fleet.Schedule
+		// wantRetries / wantDegraded assert how the release survived.
+		wantRetries  bool
+		wantDegraded bool
+	}{
+		{
+			name: "worker down at first attempt",
+			sched: func(n int, r *http.Request) fleet.Fault {
+				if n == 0 {
+					return fleet.Fault{Mode: fleet.FaultDrop}
+				}
+				return fleet.Fault{}
+			},
+			wantRetries: true,
+		},
+		{
+			name:  "one shard's requests always drop",
+			sched: fleet.PathSchedule(func(p string) bool { return strings.HasPrefix(p, "/shards/") && strings.HasSuffix(p, "/1") }, fleet.Fault{Mode: fleet.FaultDrop}),
+			// Both workers fail shard 1: retried, then served locally.
+			wantRetries:  true,
+			wantDegraded: true,
+		},
+		{
+			name:         "all workers down",
+			sched:        shardsOnly(fleet.Fault{Mode: fleet.FaultDrop}),
+			wantDegraded: true,
+		},
+		{
+			name:         "mid-body truncation",
+			sched:        shardsOnly(fleet.Fault{Mode: fleet.FaultTruncate}),
+			wantDegraded: true,
+		},
+		{
+			name:         "responses corrupted",
+			sched:        shardsOnly(fleet.Fault{Mode: fleet.FaultCorrupt}),
+			wantDegraded: true,
+		},
+		{
+			name:         "workers return 503",
+			sched:        shardsOnly(fleet.Fault{Mode: fleet.Fault5xx}),
+			wantDegraded: true,
+		},
+		{
+			name:         "slow worker past the timeout",
+			sched:        shardsOnly(fleet.Fault{Mode: fleet.FaultDelay, Delay: 500 * time.Millisecond}),
+			wantDegraded: true,
+		},
+		{
+			name:  "duplicate delivery",
+			sched: shardsOnly(fleet.Fault{Mode: fleet.FaultDuplicate}),
+			// Shard inference is stateless: duplicates are harmless and the
+			// release stays fully remote.
+		},
+		{
+			name:  "seeded random drops",
+			sched: fleet.SeededSchedule(42, 0.5, fleet.FaultDrop),
+			// Outcome depends on the seed; only bit-identity is pinned.
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{}
+			if tc.name == "slow worker past the timeout" {
+				opts.ShardTimeout = 50 * time.Millisecond
+			}
+			h := newFleetHarness(t, 2, tc.sched, opts)
+			strategy := h.designSharded(t)
+			hist := seededHistogram()
+			base := h.localBaseline(t, strategy, hist, 11)
+			dist := answerSeeded(t, h.coordTS, strategy, hist, 11)
+			requireBitIdentical(t, base, dist, tc.name)
+
+			st := fleetStatus(t, h.coordTS).Shards
+			if tc.wantRetries && st.Retries == 0 {
+				t.Fatalf("%s: expected retries, got %+v", tc.name, st)
+			}
+			if tc.wantDegraded && st.Degraded == 0 {
+				t.Fatalf("%s: expected degraded local fallback, got %+v", tc.name, st)
+			}
+			if !tc.wantDegraded && tc.sched == nil && st.Degraded > 0 {
+				t.Fatalf("%s: unexpected degradation: %+v", tc.name, st)
+			}
+		})
+	}
+}
+
+// datasetBudgets reads one dataset's spent/remaining from GET /datasets.
+func datasetBudgets(t *testing.T, ts *httptest.Server, name string) datasetInfo {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]datasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out[name]
+}
+
+// A distributed release that fails must refund its entire reservation:
+// the budget is reserved once at the coordinator and committed only
+// after all shards return — there is no partial commit to leak spend.
+func TestFleetFailedReleaseRefundsFullReservation(t *testing.T) {
+	run := func(t *testing.T, sched fleet.Schedule) {
+		// RequireRemote turns fleet failure into release failure instead of
+		// silent local fallback — the failure path under test.
+		h := newFleetHarness(t, 2, sched, Options{FleetRequireRemote: true})
+		strategy := h.designSharded(t)
+		_, body := post(t, h.coordTS, "/datasets", map[string]any{
+			"name": "capped", "histogram": seededHistogram(),
+			"cap": map[string]float64{"epsilon": 1, "delta": 1e-3},
+		})
+		_ = body
+		resp, errBody := post(t, h.coordTS, "/answer", map[string]any{
+			"strategy": strategy, "dataset": "capped", "epsilon": 0.5, "delta": 1e-4,
+		})
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("release succeeded with the fleet required and failing: %s", errBody)
+		}
+		info := datasetBudgets(t, h.coordTS, "capped")
+		if info.Spent.Epsilon != 0 || info.Spent.Delta != 0 {
+			t.Fatalf("failed release left spend on the ledger: %+v", info.Spent)
+		}
+		if info.Remaining == nil || info.Remaining.Epsilon != 1 || info.Remaining.Delta != 1e-3 {
+			t.Fatalf("failed release shrank the remaining budget: %+v", info.Remaining)
+		}
+		// The budget is intact: a retried release with the fleet healthy
+		// succeeds and charges exactly once. Jump the registry clock past
+		// every probe backoff so the recovered workers are usable now.
+		h.rt.Schedule = nil
+		h.coord.fleetSt.client.Registry.SetClock(func() time.Time { return time.Now().Add(time.Minute) })
+		resp, errBody = post(t, h.coordTS, "/answer", map[string]any{
+			"strategy": strategy, "dataset": "capped", "epsilon": 0.5, "delta": 1e-4,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("retry after recovery failed: %s", errBody)
+		}
+		info = datasetBudgets(t, h.coordTS, "capped")
+		if info.Spent.Epsilon != 0.5 {
+			t.Fatalf("recovered release spent ε=%g, want 0.5", info.Spent.Epsilon)
+		}
+	}
+	t.Run("whole fleet down", func(t *testing.T) {
+		run(t, fleet.PathSchedule(func(p string) bool { return strings.HasPrefix(p, "/shards/") }, fleet.Fault{Mode: fleet.FaultDrop}))
+	})
+	t.Run("single shard fails — no partial commit", func(t *testing.T) {
+		run(t, fleet.PathSchedule(func(p string) bool {
+			return strings.HasPrefix(p, "/shards/") && strings.HasSuffix(p, "/1")
+		}, fleet.Fault{Mode: fleet.FaultDrop}))
+	})
+}
+
+// Workers fetch a plan they have never seen from the coordinator once,
+// verify it against its content address, and serve every later shard
+// request from the cached copy.
+func TestFleetWorkerFetchesPlanOnce(t *testing.T) {
+	h := newFleetHarness(t, 2, nil, Options{})
+	strategy := h.designSharded(t)
+	hist := seededHistogram()
+
+	answerSeeded(t, h.coordTS, strategy, hist, 3)
+	var fetchesAfterFirst, cached int64
+	for _, wts := range h.workerTS {
+		ws := fleetStatus(t, wts)
+		fetchesAfterFirst += ws.PlanFetches
+		cached += int64(ws.CachedPlans)
+	}
+	if fetchesAfterFirst == 0 {
+		t.Fatal("no worker fetched the plan from the coordinator")
+	}
+	if cached != fetchesAfterFirst {
+		t.Fatalf("%d fetches but %d cached plans", fetchesAfterFirst, cached)
+	}
+
+	answerSeeded(t, h.coordTS, strategy, hist, 4)
+	var fetchesAfterSecond int64
+	for _, wts := range h.workerTS {
+		fetchesAfterSecond += fleetStatus(t, wts).PlanFetches
+	}
+	if fetchesAfterSecond != fetchesAfterFirst {
+		t.Fatalf("second release re-fetched the plan: %d -> %d fetches", fetchesAfterFirst, fetchesAfterSecond)
+	}
+}
+
+// A shard request naming a plan nobody holds fails cleanly, and
+// malformed shard paths are rejected.
+func TestFleetShardRequestValidation(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fleet.AppendVector(nil, []float64{1, 2, 3})
+	for path, want := range map[string]int{
+		"/shards/0123456789abcdef01234567/0":  http.StatusNotFound, // unknown plan
+		"/shards/not-a-content-address/0":     http.StatusBadRequest,
+		"/shards/0123456789abcdef01234567/-1": http.StatusBadRequest,
+		"/shards/0123456789abcdef01234567/x":  http.StatusBadRequest,
+		"/shards/0123456789abcdef01234567":    http.StatusBadRequest,
+	} {
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	if st := fleetStatus(t, ts); st.Mode != "standalone" {
+		t.Fatalf("plain server /fleet mode = %q, want standalone", st.Mode)
+	}
+}
+
+// Regression for the List/quota-GC race: an id listed by GET /plans a
+// moment ago whose entry the quota then evicted must come back as a 404
+// naming the eviction — never a 500 — while /plans/{id}/raw keeps
+// serving from the in-memory strategy.
+func TestPlanEvictedBetweenListAndGet(t *testing.T) {
+	s, err := Open(Options{StoreDir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	designSpecOn(t, ts, `{"workload":"prefix:64"}`)
+	// Flush the write-behind queue so the entry is durably listed.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := s.store.List()
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("List = %d entries (%v), want 1", len(metas), err)
+	}
+	id := metas[0].ID
+
+	fetch := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		return resp.StatusCode, string(buf[:n])
+	}
+
+	if code, _ := fetch("/plans/" + id); code != http.StatusOK {
+		t.Fatalf("GET /plans/{id} before eviction: status %d", code)
+	}
+
+	// The "GC lands between List and Get" moment: evict everything.
+	s.store.SetQuota(1, t.Logf)
+
+	code, body := fetch("/plans/" + id)
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /plans/{id} after eviction: status %d (%s), want 404", code, body)
+	}
+	if !strings.Contains(body, "evicted") {
+		t.Fatalf("eviction 404 carries no hint: %s", body)
+	}
+	// A never-existing id is a plain 404, no eviction claim.
+	code, body = fetch("/plans/ffffffffffffffffffffffff")
+	if code != http.StatusNotFound || strings.Contains(body, "evicted") {
+		t.Fatalf("unknown id: status %d body %s, want plain 404", code, body)
+	}
+	// The in-memory strategy still serves the raw entry for the fleet.
+	if code, _ := fetch("/plans/" + id + "/raw"); code != http.StatusOK {
+		t.Fatalf("GET /plans/{id}/raw after eviction: status %d, want 200 from memory", code)
+	}
+}
+
+// Coordinator and worker roles are mutually exclusive, and a
+// coordinator needs at least one usable worker URL.
+func TestFleetOptionValidation(t *testing.T) {
+	if _, err := Open(Options{FleetWorkers: []string{"http://w"}, CoordinatorURL: "http://c"}); err == nil {
+		t.Fatal("coordinator+worker accepted")
+	}
+	if _, err := Open(Options{FleetWorkers: []string{"", "  "}}); err == nil {
+		t.Fatal("coordinator with no usable worker URLs accepted")
+	}
+}

@@ -86,12 +86,15 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptivemm/internal/accountant"
 	"adaptivemm/internal/domain"
+	"adaptivemm/internal/fleet"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
 	"adaptivemm/internal/planner"
@@ -209,6 +212,24 @@ type Server struct {
 	// acquired non-blocking, so excess streams fail fast with 503 instead
 	// of queuing chunk buffers.
 	streamSem chan struct{}
+
+	// byID indexes keyed strategies by their plan content address
+	// (planstore.EntryID of the cache key) — the wire identity shard
+	// requests and GET /plans/{id}/raw resolve. Guarded by mu.
+	byID map[string]planRef
+
+	// fleetSt is the coordinator role (Options.FleetWorkers), workerSt
+	// the worker role (Options.CoordinatorURL); both nil on a standalone
+	// server. See fleet.go.
+	fleetSt  *fleetState
+	workerSt *workerFleetState
+	// shardRequests counts POST /shards served by this process.
+	shardRequests atomic.Int64
+	// fetched caches plans resolved by content address (local store or
+	// coordinator fetch), bounded FIFO; see cacheFetched.
+	fetchedMu    sync.Mutex
+	fetched      map[string]*planner.Plan
+	fetchedOrder []string
 }
 
 // persistReq is one queued write-behind persistence job.
@@ -251,6 +272,38 @@ type Options struct {
 	// Logf receives operational messages (rehydration skips, persistence
 	// failures). nil means the standard library logger.
 	Logf func(format string, args ...any)
+
+	// FleetWorkers lists worker base URLs; non-empty makes this server a
+	// fleet coordinator (amserve -workers): sharded plans route their
+	// per-shard inference to the fleet, falling back to local inference
+	// when a shard's workers are all down.
+	FleetWorkers []string
+
+	// CoordinatorURL makes this server a fleet worker of that
+	// coordinator (amserve -worker-of): plans referenced by POST /shards
+	// that the worker has never seen are fetched from the coordinator by
+	// content address.
+	CoordinatorURL string
+
+	// FleetTransport overrides the coordinator's HTTP transport for
+	// shard requests and health probes — the fault-injection seam
+	// (fleet.FaultRoundTripper). nil means http.DefaultTransport.
+	FleetTransport http.RoundTripper
+
+	// ShardTimeout bounds one remote shard attempt; 0 applies
+	// fleet.DefaultShardTimeout.
+	ShardTimeout time.Duration
+
+	// FleetRequireRemote disables the coordinator's local-inference
+	// fallback so a fleet-wide failure fails the release instead of
+	// degrading it. For tests proving budget settlement; production
+	// coordinators keep the fallback.
+	FleetRequireRemote bool
+
+	// FleetProbeInterval is the coordinator's background health re-probe
+	// period: 0 applies the default (2s), negative disables the loop
+	// (deterministic tests; traffic still re-probes via backoff expiry).
+	FleetProbeInterval time.Duration
 }
 
 // entry wraps one stored plan. The plan carries the workload, the
@@ -302,12 +355,40 @@ func Open(opts Options) (*Server, error) {
 	s := &Server{
 		strategies:  map[string]*entry{},
 		cache:       map[string]string{},
+		byID:        map[string]planRef{},
 		pl:          planner.New(planner.Config{CacheSize: maxCachedPlans}),
 		acct:        accountant.New(),
 		reg:         registry.New(),
 		allowSeeded: opts.AllowSeededReleases,
 		logf:        logf,
 		streamSem:   make(chan struct{}, maxStreams),
+	}
+	if len(opts.FleetWorkers) > 0 && opts.CoordinatorURL != "" {
+		return nil, fmt.Errorf("server: a fleet coordinator cannot also be a worker; -workers and -worker-of are mutually exclusive")
+	}
+	if len(opts.FleetWorkers) > 0 {
+		client := fleet.NewClient(opts.FleetWorkers, &http.Client{Transport: opts.FleetTransport}, opts.ShardTimeout)
+		if len(client.Registry.URLs()) == 0 {
+			return nil, fmt.Errorf("server: fleet coordinator configured with no usable worker URLs")
+		}
+		s.fleetSt = &fleetState{
+			client:        client,
+			requireRemote: opts.FleetRequireRemote,
+			stop:          make(chan struct{}),
+		}
+		interval := opts.FleetProbeInterval
+		if interval == 0 {
+			interval = defaultProbeInterval
+		}
+		if interval > 0 {
+			s.startFleetProbes(interval)
+		}
+	}
+	if opts.CoordinatorURL != "" {
+		s.workerSt = &workerFleetState{
+			coordinator: strings.TrimRight(opts.CoordinatorURL, "/"),
+			hc:          &http.Client{Timeout: 30 * time.Second},
+		}
 	}
 	if opts.StoreDir == "" {
 		return s, nil
@@ -336,8 +417,11 @@ func Open(opts Options) (*Server, error) {
 		}
 		s.nextID++
 		id := fmt.Sprintf("s%d", s.nextID)
-		s.strategies[id] = &entry{plan: l.Plan}
+		ent := &entry{plan: l.Plan}
+		s.strategies[id] = ent
 		s.cache[l.Meta.Key] = id
+		s.recordPlanID(l.Meta.Key, ent)
+		s.attachFleet(l.Meta.Key, ent)
 	}
 	if len(loaded) > 0 {
 		logf("server: rehydrated %d plan(s) from %s", len(loaded), opts.StoreDir)
@@ -385,11 +469,13 @@ func (s *Server) enqueuePersist(key string, plan *planner.Plan) {
 	}
 }
 
-// Close flushes the plan-persistence write-behind queue and saves a
-// final calibration snapshot. The HTTP handler must be drained first
-// (http.Server.Shutdown); Close only settles persistence. It is safe to
-// call on a server without a store, and at most once.
+// Close stops the fleet's background health probes, flushes the
+// plan-persistence write-behind queue and saves a final calibration
+// snapshot. The HTTP handler must be drained first
+// (http.Server.Shutdown). It is safe to call on a server without a
+// store, and more than once.
 func (s *Server) Close() error {
+	s.stopFleet()
 	if s.store == nil {
 		return nil
 	}
@@ -415,6 +501,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/ledger", s.handleLedger)
 	mux.HandleFunc("/plans", s.handlePlans)
 	mux.HandleFunc("/plans/", s.handlePlanByID)
+	mux.HandleFunc("/fleet", s.handleFleet)
+	mux.HandleFunc("/shards/", s.handleShard)
 	return http.MaxBytesHandler(mux, maxRequestBody)
 }
 
@@ -594,8 +682,13 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		// last one wins the cache slot and the loser's strategy stays
 		// usable under its own id.
 		s.cache[key] = id
+		s.recordPlanID(key, ent)
 	}
 	s.mu.Unlock()
+
+	// A sharded plan on a coordinator routes through the fleet from its
+	// first release.
+	s.attachFleet(key, ent)
 
 	// Durability is write-behind: the response never waits on disk.
 	s.enqueuePersist(key, plan)
@@ -855,27 +948,117 @@ func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, plansResponse{Dir: s.store.Dir(), Plans: metas})
 }
 
-// handlePlanByID serves DELETE /plans/{id}: it removes the durable entry
-// (so future restarts will not rehydrate it). A strategy already
-// rehydrated or designed in this process keeps serving — /answer ids
-// stay valid for the server's lifetime; only durability is withdrawn.
+// handlePlanByID dispatches the by-id plan routes:
+//
+//	GET    /plans/{id}      one entry's stored metadata
+//	GET    /plans/{id}/raw  the entry's verified encoded bytes — the
+//	                        fleet's plan-distribution payload
+//	DELETE /plans/{id}      withdraw the entry from future restarts
+//
+// A strategy already rehydrated or designed in this process keeps
+// serving after DELETE — /answer ids stay valid for the server's
+// lifetime; only durability is withdrawn. A GET racing quota eviction
+// gets a 404 naming the eviction, never a 500: listing and loading are
+// deliberately not atomic (see planstore.Store).
 func (s *Server) handlePlanByID(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodDelete {
-		httpError(w, http.StatusMethodNotAllowed, "DELETE required")
+	id, sub, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/plans/"), "/")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "/plans/{id} with an id from GET /plans")
 		return
 	}
+	switch {
+	case r.Method == http.MethodGet && sub == "raw":
+		s.handlePlanRaw(w, id)
+	case r.Method == http.MethodGet && sub == "":
+		s.handlePlanMeta(w, id)
+	case r.Method == http.MethodDelete && sub == "":
+		s.handlePlanDelete(w, id)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or DELETE /plans/{id}, or GET /plans/{id}/raw")
+	}
+}
+
+// planNotFound writes the by-id 404, naming the quota eviction when the
+// store remembers one — the answer to "GET /plans listed it a moment
+// ago" is "the quota evicted it in between", not a server error.
+func (s *Server) planNotFound(w http.ResponseWriter, id string) {
+	if s.store != nil {
+		if t, ok := s.store.Evicted(id); ok {
+			httpError(w, http.StatusNotFound,
+				"plan %q was evicted by the store quota at %s; re-design its workload to restore it",
+				id, t.UTC().Format(time.RFC3339))
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "no stored plan %q", id)
+}
+
+func (s *Server) handlePlanMeta(w http.ResponseWriter, id string) {
 	if s.store == nil {
 		httpError(w, http.StatusNotFound, "no plan store configured (start the server with a store directory)")
 		return
 	}
-	id := strings.TrimPrefix(r.URL.Path, "/plans/")
-	if id == "" || strings.Contains(id, "/") {
-		httpError(w, http.StatusBadRequest, "DELETE /plans/{id} with an id from GET /plans")
+	meta, err := s.store.Stat(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			s.planNotFound(w, id)
+		} else {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, meta)
+}
+
+// handlePlanRaw serves the entry's verified encoded bytes. The store is
+// preferred; a coordinator without a store (or whose entry was evicted)
+// re-encodes the in-memory plan, so workers can always fetch any plan
+// the coordinator is actively serving.
+func (s *Server) handlePlanRaw(w http.ResponseWriter, id string) {
+	if !planstore.ValidID(id) {
+		httpError(w, http.StatusBadRequest, "plan id %q is not a content address", id)
+		return
+	}
+	var storeErr error
+	if s.store != nil {
+		blob, err := s.store.GetRaw(id)
+		if err == nil {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+			_, _ = w.Write(blob)
+			return
+		}
+		storeErr = err
+	}
+	s.mu.RLock()
+	ref, ok := s.byID[id]
+	s.mu.RUnlock()
+	if ok {
+		blob, _, err := planstore.EncodeEntry(ref.key, ref.ent.plan, time.Now())
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding plan %s: %v", id, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+		_, _ = w.Write(blob)
+		return
+	}
+	if storeErr != nil && !errors.Is(storeErr, os.ErrNotExist) {
+		httpError(w, http.StatusInternalServerError, "reading stored plan %s: %v", id, storeErr)
+		return
+	}
+	s.planNotFound(w, id)
+}
+
+func (s *Server) handlePlanDelete(w http.ResponseWriter, id string) {
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, "no plan store configured (start the server with a store directory)")
 		return
 	}
 	if err := s.store.Delete(id); err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			httpError(w, http.StatusNotFound, "no stored plan %q", id)
+			s.planNotFound(w, id)
 		} else {
 			httpError(w, http.StatusBadRequest, "%v", err)
 		}
