@@ -10,12 +10,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"testing"
 	"time"
 
 	"adaptivemm/internal/domain"
 	"adaptivemm/internal/linalg"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/obs"
 	"adaptivemm/internal/server"
 	"adaptivemm/internal/strategy"
 	"adaptivemm/internal/workload"
@@ -27,17 +29,72 @@ import (
 // allocs/op per inference path so allocation regressions are visible in
 // the same trajectory as end-to-end throughput.
 type releaseBenchResult struct {
-	Spec              string             `json:"spec"`
-	Mode              string             `json:"mode"`
-	Requests          int                `json:"requests"`
-	Batch             int                `json:"batch"`
-	Parallelism       int                `json:"parallelism"`
-	Transport         string             `json:"transport,omitempty"`
-	Seconds           float64            `json:"seconds"`
-	ReleasesPerSecond float64            `json:"releasesPerSecond"`
-	Phase             string             `json:"phase,omitempty"`
-	Streaming         *streamBenchResult `json:"streaming,omitempty"`
-	Paths             []pathBenchResult  `json:"paths,omitempty"`
+	Spec              string  `json:"spec"`
+	Mode              string  `json:"mode"`
+	Requests          int     `json:"requests"`
+	Batch             int     `json:"batch"`
+	Parallelism       int     `json:"parallelism"`
+	Transport         string  `json:"transport,omitempty"`
+	Seconds           float64 `json:"seconds"`
+	ReleasesPerSecond float64 `json:"releasesPerSecond"`
+	Phase             string  `json:"phase,omitempty"`
+	// Latency is the release-latency tail recovered from the server's
+	// own am_release_seconds histogram at GET /metrics — the same
+	// numbers a production scrape would compute, so the trajectory and
+	// the dashboards can never disagree about what was measured.
+	Latency   *latencyBenchResult `json:"latency,omitempty"`
+	Streaming *streamBenchResult  `json:"streaming,omitempty"`
+	Paths     []pathBenchResult   `json:"paths,omitempty"`
+}
+
+// latencyBenchResult carries interpolated histogram quantiles of
+// per-release latency, in milliseconds.
+type latencyBenchResult struct {
+	Count     int64   `json:"count"`
+	P50Millis float64 `json:"p50Millis"`
+	P95Millis float64 `json:"p95Millis"`
+	P99Millis float64 `json:"p99Millis"`
+}
+
+// scrapeReleaseLatency scrapes the in-process handler's /metrics page,
+// re-parses the exposition, rebuilds the am_release_seconds bucket
+// counts from the cumulative _bucket samples, and recovers the latency
+// quantiles with obs.BucketQuantile — the exact pipeline an external
+// Prometheus + histogram_quantile() would run.
+func scrapeReleaseLatency(h http.Handler) (*latencyBenchResult, error) {
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", rec.Code)
+	}
+	exp, err := obs.ParseText(rec.Body)
+	if err != nil {
+		return nil, fmt.Errorf("/metrics exposition does not parse: %w", err)
+	}
+	bounds := obs.DefTimeBuckets
+	counts := make([]int64, len(bounds)+1)
+	prev := 0.0
+	for i, bd := range bounds {
+		v, ok := exp.Value("am_release_seconds_bucket", "le", strconv.FormatFloat(bd, 'g', -1, 64))
+		if !ok {
+			return nil, fmt.Errorf("/metrics: am_release_seconds bucket le=%g missing", bd)
+		}
+		counts[i] = int64(v - prev)
+		prev = v
+	}
+	inf, ok := exp.Value("am_release_seconds_bucket", "le", "+Inf")
+	if !ok {
+		return nil, fmt.Errorf("/metrics: am_release_seconds +Inf bucket missing")
+	}
+	counts[len(bounds)] = int64(inf - prev)
+	count, _ := exp.Value("am_release_seconds_count")
+	return &latencyBenchResult{
+		Count:     int64(count),
+		P50Millis: obs.BucketQuantile(0.50, bounds, counts) * 1e3,
+		P95Millis: obs.BucketQuantile(0.95, bounds, counts) * 1e3,
+		P99Millis: obs.BucketQuantile(0.99, bounds, counts) * 1e3,
+	}, nil
 }
 
 // streamBenchResult measures the streamed (NDJSON) release path against
@@ -255,6 +312,11 @@ func runReleaseBench(spec, mode string, requests, batch, parallelism int, phase,
 	if elapsed > 0 {
 		res.ReleasesPerSecond = float64(requests) / elapsed
 	}
+	lat, err := scrapeReleaseLatency(h)
+	if err != nil {
+		return fmt.Errorf("latency scrape: %w", err)
+	}
+	res.Latency = lat
 	rows := 0
 	if q, ok := design["queries"].(float64); ok {
 		rows = int(q)
@@ -268,6 +330,8 @@ func runReleaseBench(spec, mode string, requests, batch, parallelism int, phase,
 	res.Paths = runPathBenches()
 	fmt.Printf("release bench: %s (%s) — %d releases in %.3fs → %.1f releases/s\n",
 		spec, mode, requests, elapsed, res.ReleasesPerSecond)
+	fmt.Printf("  latency (scraped from /metrics, n=%d): p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+		lat.Count, lat.P50Millis, lat.P95Millis, lat.P99Millis)
 	fmt.Printf("  streaming: %d rows — %.1f releases/s, peak %d bytes/release (%d streamed bytes)\n",
 		stream.Rows, stream.ReleasesPerSecond, stream.PeakBytesPerRelease, stream.StreamedBytes)
 	if b := stream.Buffered; b != nil {

@@ -82,6 +82,8 @@ func main() {
 		"DEBUG ONLY: honor client-pinned noise seeds on registered datasets (lets the requester reconstruct the noise and defeat the privacy budget)")
 	pprofAddr := flag.String("pprof-addr", "",
 		"optional separate listen address for net/http/pprof profiling endpoints (empty = disabled; never exposed on the serving listener)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"optional separate listen address for the observability surface (/metrics and /debug/traces); both are always served on the main address too")
 	workers := flag.String("workers", "",
 		"comma-separated worker base URLs; makes this server a fleet coordinator routing sharded inference to them")
 	workerOf := flag.String("worker-of", "",
@@ -152,6 +154,19 @@ func main() {
 			log.Printf("amserve pprof listening on %s", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
 				log.Printf("amserve: pprof listener: %v", err)
+			}
+		}()
+	}
+
+	// Like pprof, the metrics side listener lets operators scrape a
+	// server whose main port sits behind stricter network policy. The
+	// main handler serves the same endpoints regardless.
+	if *metricsAddr != "" {
+		mh := srv.MetricsHandler()
+		go func() {
+			log.Printf("amserve metrics listening on %s", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mh); err != nil {
+				log.Printf("amserve: metrics listener: %v", err)
 			}
 		}()
 	}

@@ -58,7 +58,7 @@ func TestReadmeLinksDocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/HTTP_API.md", "docs/PERFORMANCE.md"} {
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/HTTP_API.md", "docs/PERFORMANCE.md", "docs/OBSERVABILITY.md"} {
 		if !strings.Contains(string(body), "("+want+")") {
 			t.Errorf("README.md does not link %s", want)
 		}

@@ -17,6 +17,9 @@
 //     helpers and exact-zero sentinel checks.
 //   - intoalias: write-into kernels (MulVecInto and friends) must not be
 //     called with a destination that provably aliases an input.
+//   - obscard: metric names and label values at obs.Registry
+//     registration sites must be compile-time constants — dynamic ones
+//     make series cardinality unbounded and telemetry silently droppable.
 //
 // The framework mirrors the x/tools API (Analyzer, Pass, Diagnostic, a
 // testdata/src fixture runner with "// want" comments) so the analyzers
@@ -186,7 +189,7 @@ func suppressed(d Diagnostic, sups []suppression) bool {
 
 // All returns the full analyzer suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{NoiseRand, BudgetSettle, PoolEscape, FloatEq, IntoAlias}
+	return []*Analyzer{NoiseRand, BudgetSettle, PoolEscape, FloatEq, IntoAlias, ObsCard}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -167,6 +167,10 @@ func TestIntoAliasFixture(t *testing.T) {
 	runFixture(t, "intofixture", IntoAlias)
 }
 
+func TestObsCardFixture(t *testing.T) {
+	runFixture(t, "obsfixture", ObsCard)
+}
+
 // TestLintAllowFixture pins the escape hatch's exact semantics, which the
 // want-comment form cannot express (an allow directive and a want comment
 // cannot share a line): a reasoned allow suppresses the finding on its

@@ -8,13 +8,19 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
+
+	"adaptivemm/internal/obs"
 )
 
 // DefaultShardTimeout bounds one shard request attempt when the client
 // is not configured otherwise.
 const DefaultShardTimeout = 5 * time.Second
+
+// TraceHeader carries the coordinator's release trace ID on outgoing
+// shard requests, so a worker can record its side of the work as a
+// child trace.
+const TraceHeader = "X-AM-Trace"
 
 // ErrNoWorkers reports that every fleet worker was down with an
 // unexpired backoff — the request never left the coordinator. The
@@ -35,15 +41,28 @@ type Client struct {
 	// Timeout bounds each attempt (≤0 selects DefaultShardTimeout).
 	Timeout time.Duration
 
-	remote   atomic.Int64 // shards answered by a worker
-	retries  atomic.Int64 // extra attempts past each shard's first
-	failures atomic.Int64 // failed attempts (marked the worker down)
+	// The routing counters are obs values so one atomic backs Stats(),
+	// GET /fleet and the /metrics exposition (a coordinator adopts them
+	// into its registry with RegisterCounter — no duplicated counters to
+	// drift apart). NewClient fills them; they must not be replaced once
+	// traffic is flowing.
+	Remote   *obs.Counter // shards answered by a worker
+	Retries  *obs.Counter // extra attempts past each shard's first
+	Failures *obs.Counter // failed attempts (marked the worker down)
+	// RPCSeconds observes the latency of each shard POST attempt,
+	// successful or not. NewClient fills it with a detached histogram;
+	// a coordinator may swap in a registry-backed one before traffic.
+	RPCSeconds *obs.Histogram
 }
 
 // NewClient wires a registry and ring over one worker set.
 func NewClient(workers []string, hc *http.Client, timeout time.Duration) *Client {
 	reg := NewRegistry(workers)
-	return &Client{Registry: reg, Ring: NewRing(reg.URLs(), 0), HTTP: hc, Timeout: timeout}
+	return &Client{
+		Registry: reg, Ring: NewRing(reg.URLs(), 0), HTTP: hc, Timeout: timeout,
+		Remote: new(obs.Counter), Retries: new(obs.Counter), Failures: new(obs.Counter),
+		RPCSeconds: obs.NewHistogram(obs.DefTimeBuckets),
+	}
 }
 
 // Stats is a snapshot of the client's shard-routing counters.
@@ -59,9 +78,9 @@ type Stats struct {
 // Stats snapshots the routing counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Remote:   c.remote.Load(),
-		Retries:  c.retries.Load(),
-		Failures: c.failures.Load(),
+		Remote:   c.Remote.Value(),
+		Retries:  c.Retries.Value(),
+		Failures: c.Failures.Value(),
 	}
 }
 
@@ -70,7 +89,9 @@ func (c *Client) Stats() Stats {
 // failover order past down or failing workers. It returns nil with dst
 // filled on the first success; when every usable worker fails (or none
 // is usable) it returns the last error for the caller to fall back on.
-func (c *Client) InferShard(ctx context.Context, planID string, shard int, dst, y []float64) error {
+// tr, when non-nil, is the coordinator's release trace: its ID rides
+// the TraceHeader so the worker can record a child trace.
+func (c *Client) InferShard(ctx context.Context, tr *obs.Trace, planID string, shard int, dst, y []float64) error {
 	seq := c.Ring.Sequence(ShardKey(planID, shard))
 	body := AppendVector(make([]byte, 0, len(vecMagic)+10+8*len(y)+8), y)
 	lastErr := ErrNoWorkers
@@ -81,35 +102,40 @@ func (c *Client) InferShard(ctx context.Context, planID string, shard int, dst, 
 		}
 		tried++
 		if tried > 1 {
-			c.retries.Add(1)
+			c.Retries.Inc()
 		}
-		err := c.post(ctx, url, planID, shard, body, dst)
+		err := c.post(ctx, tr, url, planID, shard, body, dst)
 		if err == nil {
 			c.Registry.MarkUp(url)
-			c.remote.Add(1)
+			c.Remote.Inc()
 			return nil
 		}
 		c.Registry.MarkDown(url, err)
-		c.failures.Add(1)
+		c.Failures.Inc()
 		lastErr = err
 	}
 	return fmt.Errorf("fleet: shard %d of plan %s: %w", shard, planID, lastErr)
 }
 
 // post performs one attempt against one worker.
-func (c *Client) post(ctx context.Context, workerURL, planID string, shard int, body []byte, dst []float64) error {
+func (c *Client) post(ctx context.Context, tr *obs.Trace, workerURL, planID string, shard int, body []byte, dst []float64) error {
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = DefaultShardTimeout
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
+	t0 := time.Now()
+	defer c.RPCSeconds.ObserveSince(t0)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		workerURL+"/shards/"+planID+"/"+strconv.Itoa(shard), bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if tr != nil {
+		req.Header.Set(TraceHeader, tr.ID)
+	}
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient

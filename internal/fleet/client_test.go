@@ -40,7 +40,7 @@ func TestClientInferShard(t *testing.T) {
 	c := NewClient([]string{w1.URL, w2.URL}, nil, 0)
 	y := []float64{1, 2, 3, 4}
 	dst := make([]float64, 4)
-	if err := c.InferShard(context.Background(), "abc123", 0, dst, y); err != nil {
+	if err := c.InferShard(context.Background(), nil, "abc123", 0, dst, y); err != nil {
 		t.Fatalf("InferShard: %v", err)
 	}
 	for i := range y {
@@ -82,7 +82,7 @@ func TestClientFailover(t *testing.T) {
 		t.Fatal("dead worker owns none of 65536 shards; ring is degenerate")
 	}
 	dst := make([]float64, 4)
-	if err := c.InferShard(context.Background(), "plan", shard, dst, []float64{1, 2, 3, 4}); err != nil {
+	if err := c.InferShard(context.Background(), nil, "plan", shard, dst, []float64{1, 2, 3, 4}); err != nil {
 		t.Fatalf("InferShard with failover: %v", err)
 	}
 	if served != 1 {
@@ -105,7 +105,7 @@ func TestClientNoUsableWorkers(t *testing.T) {
 	c.Registry.SetClock(func() time.Time { return now })
 	c.Registry.MarkDown("http://a", errors.New("x"))
 	c.Registry.MarkDown("http://b", errors.New("x"))
-	err := c.InferShard(context.Background(), "p", 0, make([]float64, 1), []float64{1})
+	err := c.InferShard(context.Background(), nil, "p", 0, make([]float64, 1), []float64{1})
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("err = %v, want ErrNoWorkers", err)
 	}
@@ -119,7 +119,7 @@ func TestClientRejectsCorruptResponse(t *testing.T) {
 	}))
 	defer bad.Close()
 	c := NewClient([]string{bad.URL}, nil, 0)
-	err := c.InferShard(context.Background(), "p", 0, make([]float64, 4), []float64{1, 2, 3, 4})
+	err := c.InferShard(context.Background(), nil, "p", 0, make([]float64, 4), []float64{1, 2, 3, 4})
 	if err == nil {
 		t.Fatal("corrupt response accepted")
 	}

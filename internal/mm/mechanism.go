@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/obs"
 	"adaptivemm/internal/workload"
 )
 
@@ -99,7 +100,26 @@ type Mechanism struct {
 
 	l1Once sync.Once
 	sensL1 float64
+
+	// timers, when set, receives per-stage release latencies
+	// (answer → noise → infer). Atomic so the server can attach its
+	// registry-backed histograms after construction without racing
+	// in-flight releases; recording is atomic-only, so the pinned
+	// zero-alloc release path stays zero-alloc with timers attached.
+	timers atomic.Pointer[StageTimers]
 }
+
+// StageTimers carries the release pipeline's per-stage latency
+// histograms. All three fields must be non-nil when attached.
+type StageTimers struct {
+	Answer *obs.Histogram // strategy answers A·x
+	Noise  *obs.Histogram // CSPRNG draws + noise add
+	Infer  *obs.Histogram // least-squares inference
+}
+
+// SetStageTimers attaches (or, with nil, detaches) the per-stage
+// latency histograms. Safe against concurrent releases.
+func (m *Mechanism) SetStageTimers(t *StageTimers) { m.timers.Store(t) }
 
 // NewMechanism prepares a mechanism for a dense strategy matrix. It is
 // NewMechanismOp with the dense representation.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mm
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package mm
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose sync.Pool poisoning makes pooled paths allocate.
+const raceEnabled = true

@@ -17,8 +17,10 @@ package mm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/obs"
 	"adaptivemm/internal/workload"
 )
 
@@ -43,6 +45,14 @@ type ReleaseScratch struct {
 	// without allocating error slots or a WaitGroup per call.
 	shardErrs []error
 	wg        sync.WaitGroup
+
+	// Trace, when non-nil, receives per-stage spans for this release
+	// and is threaded through to the shard backend so distributed
+	// shard calls carry the trace ID. Tracing is opt-in per release —
+	// the always-on instrumentation is the (allocation-free) stage
+	// timer histograms. PutScratch clears it so pooled reuse never
+	// resurrects another release's trace.
+	Trace *obs.Trace
 }
 
 // growFloats returns buf resized to n, reallocating only when capacity is
@@ -69,7 +79,10 @@ func (m *Mechanism) GetScratch() *ReleaseScratch {
 
 // PutScratch returns a rented scratch to the pool. Slices previously
 // returned by the Into entry points become invalid.
-func (m *Mechanism) PutScratch(sc *ReleaseScratch) { m.scratch.Put(sc) }
+func (m *Mechanism) PutScratch(sc *ReleaseScratch) {
+	sc.Trace = nil
+	m.scratch.Put(sc)
+}
 
 // EstimateGaussianInto is EstimateGaussian computing through caller-owned
 // scratch: the returned estimate is sc.est, valid until sc is reused. On
@@ -84,18 +97,59 @@ func (m *Mechanism) EstimateGaussianInto(sc *ReleaseScratch, x []float64, p Priv
 	}
 	sigma := p.GaussianSigma(m.sensL2)
 	rows := m.a.Rows()
+	timers := m.timers.Load()
+	instr := timers != nil || sc.Trace != nil
+	var t0 time.Time
+	if instr {
+		t0 = time.Now()
+	}
 	sc.y = growFloats(sc.y, rows)
 	m.answersInto(sc.y, x, sc)
+	t0 = m.stageDone(sc, timers, stageAnswer, t0)
 	sc.noise = growFloats(sc.noise, rows)
 	fillNormal(r, sc.noise)
 	for i, n := range sc.noise {
 		sc.y[i] += sigma * n
 	}
+	t0 = m.stageDone(sc, timers, stageNoise, t0)
 	sc.est = growFloats(sc.est, m.estimateLen())
 	if err := m.inferInto(sc.est, sc.y, sc); err != nil {
 		return nil, err
 	}
+	m.stageDone(sc, timers, stageInfer, t0)
 	return sc.est, nil
+}
+
+// Stage names of the release pipeline, shared between the stage-timer
+// histograms and the per-release trace spans.
+const (
+	stageAnswer = "answer"
+	stageNoise  = "noise"
+	stageInfer  = "infer"
+)
+
+// stageDone closes one pipeline stage that began at t0: it records the
+// latency on the attached stage timers, appends a span to the
+// release's trace when one is riding on the scratch, and returns the
+// start time of the next stage. With neither attached it is two
+// predictable branches and no clock read.
+func (m *Mechanism) stageDone(sc *ReleaseScratch, timers *StageTimers, stage string, t0 time.Time) time.Time {
+	if timers == nil && sc.Trace == nil {
+		return t0
+	}
+	now := time.Now()
+	if timers != nil {
+		switch stage {
+		case stageAnswer:
+			timers.Answer.Observe(now.Sub(t0).Seconds())
+		case stageNoise:
+			timers.Noise.Observe(now.Sub(t0).Seconds())
+		case stageInfer:
+			timers.Infer.Observe(now.Sub(t0).Seconds())
+		}
+	}
+	sc.Trace.AddSpanRange(stage, t0, now)
+	return now
 }
 
 // EstimateLaplaceInto is the scratch-based EstimateLaplace; the returned
@@ -109,17 +163,26 @@ func (m *Mechanism) EstimateLaplaceInto(sc *ReleaseScratch, x []float64, epsilon
 	}
 	b := m.SensitivityL1() / epsilon
 	rows := m.a.Rows()
+	timers := m.timers.Load()
+	instr := timers != nil || sc.Trace != nil
+	var t0 time.Time
+	if instr {
+		t0 = time.Now()
+	}
 	sc.y = growFloats(sc.y, rows)
 	m.answersInto(sc.y, x, sc)
+	t0 = m.stageDone(sc, timers, stageAnswer, t0)
 	sc.noise = growFloats(sc.noise, rows)
 	fillLaplace(r, sc.noise, b)
 	for i, n := range sc.noise {
 		sc.y[i] += n
 	}
+	t0 = m.stageDone(sc, timers, stageNoise, t0)
 	sc.est = growFloats(sc.est, m.estimateLen())
 	if err := m.inferInto(sc.est, sc.y, sc); err != nil {
 		return nil, err
 	}
+	m.stageDone(sc, timers, stageInfer, t0)
 	return sc.est, nil
 }
 

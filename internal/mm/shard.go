@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"adaptivemm/internal/linalg"
+	"adaptivemm/internal/obs"
 	"adaptivemm/internal/workload"
 )
 
@@ -189,8 +192,12 @@ func (m *Mechanism) Shards() []Shard { return m.shards }
 // estimates to the in-process path, because the per-shard solvers are
 // deterministic. Implementations must be safe for concurrent calls:
 // every sharded release fans all shards out at once.
+//
+// tr is the release's trace, nil unless the caller opted in; a remote
+// backend propagates tr.ID to the worker (the X-AM-Trace header) and
+// may add spans of its own (e.g. a degraded local fallback).
 type ShardBackend interface {
-	InferShard(shard int, dst, y []float64) error
+	InferShard(tr *obs.Trace, shard int, dst, y []float64) error
 }
 
 // SetShardBackend routes the mechanism's per-shard inference through b
@@ -351,13 +358,21 @@ func (m *Mechanism) inferShardedVia(b ShardBackend, dst, y []float64, sc *Releas
 	}
 	errs := sc.shardErrs[:len(m.shards)]
 	sc.wg.Add(len(m.shards))
+	tr := sc.Trace
 	at, estAt := 0, 0
 	for i, s := range m.shards {
 		rows := s.Mechanism.a.Rows()
 		cells := s.Mechanism.a.Cols()
 		go func(i int, dst, y []float64) {
 			defer sc.wg.Done()
-			errs[i] = b.InferShard(i, dst, y)
+			var t0 time.Time
+			if tr != nil {
+				t0 = time.Now()
+			}
+			errs[i] = b.InferShard(tr, i, dst, y)
+			if tr != nil {
+				tr.AddSpan("shard:"+strconv.Itoa(i), t0)
+			}
 		}(i, dst[estAt:estAt+cells], y[at:at+rows])
 		at += rows
 		estAt += cells

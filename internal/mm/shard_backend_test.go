@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+
+	"adaptivemm/internal/obs"
 )
 
 // loopbackBackend routes each shard back into the mechanism's own local
@@ -18,7 +20,7 @@ type loopbackBackend struct {
 	fail  int // shard index to fail, -1 for none
 }
 
-func (b *loopbackBackend) InferShard(shard int, dst, y []float64) error {
+func (b *loopbackBackend) InferShard(_ *obs.Trace, shard int, dst, y []float64) error {
 	b.calls.Add(1)
 	if shard == b.fail {
 		return fmt.Errorf("injected backend failure")

@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// textBufPool recycles the scratch buffer the encoder renders into, in
+// the same pooled-buffer discipline as the release JSON encoder: the
+// scrape path should not pay a fresh multi-kilobyte allocation per
+// poll.
+var textBufPool = sync.Pool{New: func() any { return make([]byte, 0, 16<<10) }}
+
+const maxPooledTextBuf = 1 << 20
+
+// WriteText renders the registry as a Prometheus text exposition
+// (version 0.0.4): families sorted by name, each with # HELP and
+// # TYPE headers, histogram series expanded to cumulative _bucket,
+// _sum and _count lines. Collect-at-scrape families run their
+// callback under the registry lock.
+func (r *Registry) WriteText(w io.Writer) error {
+	buf := textBufPool.Get().([]byte)[:0]
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families)+1)
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		buf = appendFamily(buf, r.families[name])
+	}
+	buf = appendHeader(buf, "am_obs_dropped_series_total",
+		"Series registrations refused by the per-family cardinality cap.", KindCounter)
+	buf = append(buf, "am_obs_dropped_series_total "...)
+	buf = strconv.AppendInt(buf, r.dropped.Value(), 10)
+	buf = append(buf, '\n')
+	r.mu.Unlock()
+	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledTextBuf {
+		textBufPool.Put(buf[:0])
+	}
+	return err
+}
+
+func appendHeader(buf []byte, name, help string, kind Kind) []byte {
+	buf = append(buf, "# HELP "...)
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = appendEscapedHelp(buf, help)
+	buf = append(buf, "\n# TYPE "...)
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = append(buf, kind.String()...)
+	buf = append(buf, '\n')
+	return buf
+}
+
+func appendFamily(buf []byte, f *family) []byte {
+	buf = appendHeader(buf, f.name, f.help, f.kind)
+	if f.collect != nil {
+		emitted := 0
+		f.collect(func(v float64, labels ...Label) {
+			if emitted >= maxSeriesPerFamily {
+				return
+			}
+			emitted++
+			buf = appendSample(buf, f.name, "", labels, Label{}, v)
+		})
+		return buf
+	}
+	for _, s := range f.series {
+		switch f.kind {
+		case KindCounter:
+			if s.c != nil {
+				buf = appendIntSample(buf, f.name, s.labels, s.c.Value())
+			}
+		case KindGauge:
+			if s.g != nil {
+				buf = appendIntSample(buf, f.name, s.labels, s.g.Value())
+			}
+		case KindHistogram:
+			if s.h != nil {
+				buf = appendHistogram(buf, f.name, s.labels, s.h)
+			}
+		}
+	}
+	return buf
+}
+
+func appendHistogram(buf []byte, name string, labels []Label, h *Histogram) []byte {
+	counts := h.snapshot()
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		le := Label{Name: "le", Value: formatLE(bound)}
+		buf = appendSample(buf, name, "_bucket", labels, le, float64(cum))
+	}
+	cum += counts[len(h.bounds)]
+	buf = appendSample(buf, name, "_bucket", labels, Label{Name: "le", Value: "+Inf"}, float64(cum))
+	buf = appendSample(buf, name, "_sum", labels, Label{}, h.Sum())
+	buf = appendIntSampleSuffix(buf, name, "_count", labels, cum)
+	return buf
+}
+
+func formatLE(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func appendIntSample(buf []byte, name string, labels []Label, v int64) []byte {
+	return appendIntSampleSuffix(buf, name, "", labels, v)
+}
+
+func appendIntSampleSuffix(buf []byte, name, suffix string, labels []Label, v int64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	buf = appendLabels(buf, labels, Label{})
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, v, 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+func appendSample(buf []byte, name, suffix string, labels []Label, extra Label, v float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	buf = appendLabels(buf, labels, extra)
+	buf = append(buf, ' ')
+	buf = appendValue(buf, v)
+	buf = append(buf, '\n')
+	return buf
+}
+
+func appendValue(buf []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(buf, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(buf, "-Inf"...)
+	case math.IsNaN(v):
+		return append(buf, "NaN"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+func appendLabels(buf []byte, labels []Label, extra Label) []byte {
+	if len(labels) == 0 && extra.Name == "" {
+		return buf
+	}
+	buf = append(buf, '{')
+	first := true
+	for _, l := range labels {
+		buf = appendOneLabel(buf, l, &first)
+	}
+	if extra.Name != "" {
+		buf = appendOneLabel(buf, extra, &first)
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+func appendOneLabel(buf []byte, l Label, first *bool) []byte {
+	if !*first {
+		buf = append(buf, ',')
+	}
+	*first = false
+	buf = append(buf, l.Name...)
+	buf = append(buf, '=', '"')
+	for i := 0; i < len(l.Value); i++ {
+		switch c := l.Value[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	buf = append(buf, '"')
+	return buf
+}
+
+func appendEscapedHelp(buf []byte, help string) []byte {
+	for i := 0; i < len(help); i++ {
+		switch c := help[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is the parsed form of a Prometheus text page: the sample
+// list in page order plus the declared family types.
+type Exposition struct {
+	Samples []Sample
+	Types   map[string]string
+}
+
+// Value returns the value of the first sample matching name and all
+// given label pairs (pairs = name, value, name, value, ...), and
+// whether such a sample exists.
+func (e *Exposition) Value(name string, pairs ...string) (float64, bool) {
+	if len(pairs)%2 != 0 {
+		return 0, false
+	}
+next:
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			if s.Labels[pairs[i]] != pairs[i+1] {
+				continue next
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+// ParseText parses a Prometheus text exposition (the subset WriteText
+// emits: # HELP / # TYPE comments, then `name{l="v",...} value`
+// lines). It validates that every sample belongs to a family with a
+// declared TYPE (allowing the _bucket/_sum/_count suffixes of a
+// declared histogram) — the format check the CI bench-smoke job runs
+// against a live scrape.
+func ParseText(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				exp.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if familyType(exp.Types, s.Name) == "" {
+			return nil, fmt.Errorf("line %d: sample %s has no declared # TYPE", lineNo, s.Name)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// familyType resolves a sample name to its declared family type,
+// stripping histogram suffixes.
+func familyType(types map[string]string, name string) string {
+	if t, ok := types[name]; ok {
+		return t
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if ok && types[base] == "histogram" {
+			return "histogram"
+		}
+	}
+	return ""
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 && brace < strings.IndexByte(rest+" ", ' ') {
+		nameEnd = brace
+	} else {
+		nameEnd = strings.IndexByte(rest, ' ')
+		if nameEnd < 0 {
+			return s, errors.New("no value field")
+		}
+	}
+	s.Name = rest[:nameEnd]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {name="value",...} block starting at rest[0]
+// and returns the index one past the closing brace.
+func parseLabels(rest string, out map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(rest) && (rest[i] == ',' || rest[i] == ' ') {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			return 0, errors.New("unterminated label block")
+		}
+		name := rest[i : i+eq]
+		if !validName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, errors.New("label value is not quoted")
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, errors.New("unterminated label value")
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return 0, errors.New("dangling escape in label value")
+				}
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(rest[i+1])
+				default:
+					return 0, fmt.Errorf("bad escape \\%c", rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[name] = val.String()
+	}
+}

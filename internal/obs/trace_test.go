@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceSpans: spans are offsets from the trace start, ordered as
+// recorded, and Finish stamps status + total duration.
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("answer", "parent123")
+	if len(tr.ID) != 16 {
+		t.Fatalf("trace ID %q is not 16 hex digits", tr.ID)
+	}
+	t0 := time.Now()
+	tr.AddSpan("noise", t0)
+	tr.AddSpanRange("infer", t0, t0.Add(time.Millisecond))
+	tr.Finish(200)
+	if tr.Status != 200 || tr.Duration <= 0 {
+		t.Fatalf("Finish left status=%d duration=%v", tr.Status, tr.Duration)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "noise" || spans[1].Name != "infer" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if d := spans[1].End - spans[1].Start; d != time.Millisecond {
+		t.Fatalf("explicit span width = %v, want 1ms", d)
+	}
+	if spans[0].Start < 0 || spans[0].End < spans[0].Start {
+		t.Fatalf("span offsets not monotone: %+v", spans[0])
+	}
+}
+
+// TestTraceNilSafe: every method is a no-op on a nil trace, so
+// optional tracing threads through the hot path without branches.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddSpan("x", time.Now())
+	tr.AddSpanRange("y", time.Now(), time.Now())
+	tr.Finish(500)
+	if tr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+	var ring *TraceRing
+	ring.Put(NewTrace("r", ""))
+	if ring.Snapshot() != nil || ring.Len() != 0 {
+		t.Fatal("nil ring is not inert")
+	}
+}
+
+// TestTraceIDsUnique: the Weyl sequence never repeats within any
+// realistic window, including under concurrency.
+func TestTraceIDsUnique(t *testing.T) {
+	const perG, gs = 1000, 8
+	seen := make(map[string]bool, perG*gs)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]string, perG)
+			for i := range ids {
+				ids[i] = NewTraceID()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate trace ID %s", id)
+					return
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTraceRingBoundedNewestFirst: the ring keeps exactly the last N
+// finished traces and snapshots them newest-first.
+func TestTraceRingBoundedNewestFirst(t *testing.T) {
+	ring := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		tr := NewTrace("answer", "")
+		tr.Finish(200 + i)
+		ring.Put(tr)
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d traces, want 4", len(snap))
+	}
+	for i, tr := range snap {
+		if want := 209 - i; tr.Status != want {
+			t.Fatalf("snapshot[%d].Status = %d, want %d (newest first)", i, tr.Status, want)
+		}
+	}
+	if ring.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", ring.Len())
+	}
+}
+
+// TestTraceRingRace: concurrent Put + Snapshot + span writes while a
+// reader walks spans — the -race half of the trace contract.
+func TestTraceRingRace(t *testing.T) {
+	ring := NewTraceRing(16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tr := NewTrace("release", "")
+					tr.AddSpan("noise", tr.Begin())
+					tr.Finish(200)
+					ring.Put(tr)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, tr := range ring.Snapshot() {
+						_ = tr.Spans()
+						_ = tr.Duration
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

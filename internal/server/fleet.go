@@ -22,11 +22,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"adaptivemm/internal/fleet"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/obs"
 	"adaptivemm/internal/planner"
 	"adaptivemm/internal/planstore"
 )
@@ -51,8 +51,9 @@ type fleetState struct {
 	// prove what a release does when the fleet alone must answer.
 	requireRemote bool
 	// degraded counts shards served by local fallback after the fleet
-	// failed them.
-	degraded atomic.Int64
+	// failed them. Registry-backed (am_fleet_degraded_total): the GET
+	// /fleet JSON and the /metrics scrape read the same atomic.
+	degraded *obs.Counter
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -65,7 +66,8 @@ type workerFleetState struct {
 	coordinator string
 	hc          *http.Client
 	// fetches counts plans fetched from the coordinator.
-	fetches atomic.Int64
+	// Registry-backed (am_fleet_plan_fetches_total).
+	fetches *obs.Counter
 	// fetchMu single-flights coordinator fetches: concurrent shard
 	// requests for one unknown plan (the common case — every shard of a
 	// release lands at once) resolve with one transfer.
@@ -91,18 +93,26 @@ type fleetShardBackend struct {
 	planID string
 }
 
-func (b *fleetShardBackend) InferShard(shard int, dst, y []float64) error {
+func (b *fleetShardBackend) InferShard(tr *obs.Trace, shard int, dst, y []float64) error {
 	fs := b.s.fleetSt
-	err := fs.client.InferShard(context.Background(), b.planID, shard, dst, y)
+	err := fs.client.InferShard(context.Background(), tr, b.planID, shard, dst, y)
 	if err == nil {
 		return nil
 	}
 	if fs.requireRemote {
 		return err
 	}
-	fs.degraded.Add(1)
-	b.s.logf("server: shard %d of plan %s served locally after fleet error: %v", shard, b.planID, err)
-	return b.mech.InferShardLocal(shard, dst, y)
+	fs.degraded.Inc()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	b.s.warnf(compFleet, "shard %d of plan %s served locally after fleet error: %v", shard, b.planID, err)
+	lerr := b.mech.InferShardLocal(shard, dst, y)
+	if tr != nil {
+		tr.AddSpan("shard:"+strconv.Itoa(shard)+":local-fallback", t0)
+	}
+	return lerr
 }
 
 // attachFleet routes a sharded plan's inference through the fleet. A
@@ -118,7 +128,7 @@ func (s *Server) attachFleet(key string, ent *entry) {
 	}
 	b := &fleetShardBackend{s: s, mech: mech, planID: planstore.EntryID(key)}
 	if err := mech.SetShardBackend(b); err != nil {
-		s.logf("server: attaching fleet backend to plan %s: %v", b.planID, err)
+		s.warnf(compFleet, "attaching fleet backend to plan %s: %v", b.planID, err)
 	}
 }
 
@@ -178,38 +188,63 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "POST /shards/{planID}/{shard} with a plan content address and a shard index")
 		return
 	}
+	// An incoming X-AM-Trace header makes this shard call a child of
+	// the coordinator's release trace: the worker records its own
+	// decode/infer/encode spans under the propagated parent ID, visible
+	// at this worker's GET /debug/traces.
+	var tr *obs.Trace
+	if parent := r.Header.Get(fleet.TraceHeader); parent != "" {
+		tr = obs.NewTrace("shard", parent)
+	}
+	finish := func(status int) {
+		tr.Finish(status)
+		s.metrics.ring.Put(tr)
+	}
 	mech, rerr := s.resolvePlanByID(id)
 	if rerr != nil {
+		finish(rerr.code)
 		writeReleaseError(w, rerr)
 		return
 	}
 	rows, cells, err := mech.ShardDims(shard)
 	if err != nil {
+		finish(http.StatusUnprocessableEntity)
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	tDecode := time.Now()
 	blob, err := io.ReadAll(r.Body)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
+			finish(http.StatusRequestEntityTooLarge)
 			httpError(w, http.StatusRequestEntityTooLarge, "shard vector exceeds the %d-byte cap", mbe.Limit)
 		} else {
+			finish(http.StatusBadRequest)
 			httpError(w, http.StatusBadRequest, "reading shard vector: %v", err)
 		}
 		return
 	}
 	y := make([]float64, rows)
 	if err := fleet.DecodeVectorInto(y, blob); err != nil {
+		finish(http.StatusBadRequest)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tr.AddSpan("decode", tDecode)
+	tInfer := time.Now()
 	dst := make([]float64, cells)
 	if err := mech.InferShardLocal(shard, dst, y); err != nil {
+		finish(http.StatusUnprocessableEntity)
 		httpError(w, http.StatusUnprocessableEntity, "shard %d inference: %v", shard, err)
 		return
 	}
-	s.shardRequests.Add(1)
+	tr.AddSpan("infer", tInfer)
+	s.metrics.shardRequests.Inc()
+	tEncode := time.Now()
 	out := fleet.AppendVector(make([]byte, 0, 16+8*len(dst)+8), dst)
+	tr.AddSpan("encode", tEncode)
+	finish(http.StatusOK)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
 	_, _ = w.Write(out)
@@ -307,11 +342,11 @@ func (s *Server) fetchPlan(id string) (*planner.Plan, error) {
 		return nil, fmt.Errorf("entry content address is %s, want %s (corrupt or substituted transfer)",
 			planstore.EntryID(meta.Key), id)
 	}
-	ws.fetches.Add(1)
+	ws.fetches.Inc()
 	if s.store != nil {
 		// Durability is best-effort: the plan already serves from memory.
 		if _, err := s.store.ImportRaw(blob); err != nil {
-			s.logf("server: storing fetched plan %s: %v", id, err)
+			s.warnf(compStore, "storing fetched plan %s: %v", id, err)
 		}
 	}
 	return plan, nil
@@ -358,7 +393,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	resp := fleetResponse{Mode: "standalone", ShardRequests: s.shardRequests.Load()}
+	resp := fleetResponse{Mode: "standalone", ShardRequests: s.metrics.shardRequests.Value()}
 	switch {
 	case s.fleetSt != nil:
 		st := s.fleetSt.client.Stats()
@@ -368,12 +403,12 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 			Remote:   st.Remote,
 			Retries:  st.Retries,
 			Failures: st.Failures,
-			Degraded: s.fleetSt.degraded.Load(),
+			Degraded: s.fleetSt.degraded.Value(),
 		}
 	case s.workerSt != nil:
 		resp.Mode = "worker"
 		resp.Coordinator = s.workerSt.coordinator
-		resp.PlanFetches = s.workerSt.fetches.Load()
+		resp.PlanFetches = s.workerSt.fetches.Value()
 		s.fetchedMu.Lock()
 		resp.CachedPlans = len(s.fetched)
 		s.fetchedMu.Unlock()

@@ -9,9 +9,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"adaptivemm/internal/accountant"
+	"adaptivemm/internal/fleet"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/obs"
 	"adaptivemm/internal/registry"
 )
 
@@ -48,6 +51,12 @@ type answerRequest struct {
 	// ChunkSize is the streamed chunk size in answers (default
 	// mm.DefaultStreamChunk, server-clamped to maxStreamChunk).
 	ChunkSize int `json:"chunkSize,omitempty"`
+	// Trace opts this release into per-stage tracing: the response's
+	// ledger block echoes the trace (id + spans), and the full record —
+	// status, total duration, per-shard spans on a coordinator — is
+	// kept at GET /debug/traces. Tracing allocates, so it is never on
+	// by default.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type answerResponse struct {
@@ -94,17 +103,18 @@ func (o *releaseOut) done() {
 // resolve the dataset, reserve budget, draw noise, infer, and commit (or
 // refund on failure). It is the /answer entry point; the batch path calls
 // releaseWith directly with its strategy snapshot.
-func (s *Server) release(req *answerRequest) (releaseOut, Budget, *releaseError) {
+func (s *Server) release(req *answerRequest, tr *obs.Trace) (releaseOut, Budget, *releaseError) {
 	s.mu.RLock()
 	ent := s.strategies[req.Strategy]
 	s.mu.RUnlock()
-	return s.releaseWith(req, ent)
+	return s.releaseWith(req, ent, tr)
 }
 
 // releaseWith is the shared release core. ent is the caller's resolution
 // of req.Strategy (nil for unknown): the batch path passes its snapshot so
 // the aggregate payload pre-check and execution share one source of truth.
-func (s *Server) releaseWith(req *answerRequest, ent *entry) (releaseOut, Budget, *releaseError) {
+func (s *Server) releaseWith(req *answerRequest, ent *entry, tr *obs.Trace) (releaseOut, Budget, *releaseError) {
+	t0 := time.Now()
 	if req.Dataset == "" {
 		return releaseOut{}, Budget{}, releaseErrorf(http.StatusBadRequest, "dataset name required for budget accounting")
 	}
@@ -173,6 +183,10 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) (releaseOut, Budget
 
 	mech := ent.plan.Mechanism
 	sc := mech.GetScratch()
+	// The trace rides the scratch through the mechanism: stage spans
+	// (answer/noise/infer) and per-shard spans land on it from inside
+	// the release kernels. PutScratch clears it.
+	sc.Trace = tr
 	var ans []float64
 	var err error
 	if req.Mode == "estimate" {
@@ -185,6 +199,8 @@ func (s *Server) releaseWith(req *answerRequest, ent *entry) (releaseOut, Budget
 		return releaseOut{}, Budget{}, releaseErrorf(http.StatusUnprocessableEntity, "%v", err)
 	}
 	res.Commit()
+	s.metrics.releases.Inc()
+	s.metrics.releaseSec.ObserveSince(t0)
 	//lint:allow poolescape: intended ownership transfer — releaseOut carries the scratch to the response encoder, which returns it via done()
 	return releaseOut{ans: ans, sc: sc, mech: mech}, fromAcct(s.acct.Spent(acctName)), nil
 }
@@ -249,6 +265,7 @@ func (s *Server) resolveAndReserve(req *answerRequest, ent *entry, p mm.Privacy)
 	if err != nil {
 		var over *accountant.OverBudgetError
 		if errors.As(err, &over) {
+			s.metrics.refusals.Inc()
 			rem := fromAcct(over.Remaining)
 			return nil, "", nil, &releaseError{
 				code:      http.StatusTooManyRequests,
@@ -274,8 +291,14 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "streaming releases are served by POST /release with \"stream\": true")
 		return
 	}
-	out, ledger, rerr := s.release(&req)
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace("answer", r.Header.Get(fleet.TraceHeader))
+	}
+	out, ledger, rerr := s.release(&req, tr)
 	if rerr != nil {
+		tr.Finish(rerr.code)
+		s.metrics.ring.Put(tr)
 		writeReleaseError(w, rerr)
 		return
 	}
@@ -284,11 +307,16 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	// held until the answers are serialized.
 	b := getBuf()
 	*b = append(*b, `{"answers":`...)
+	tser := time.Now()
 	*b = appendFloats(*b, out.ans)
+	s.metrics.serializeSec.ObserveSince(tser)
+	tr.AddSpan("serialize", tser)
 	*b = append(*b, `,"ledger":`...)
-	*b = appendBudget(*b, ledger)
+	*b = appendBudgetTrace(*b, ledger, tr)
 	*b = append(*b, '}', '\n')
 	out.done()
+	tr.Finish(http.StatusOK)
+	s.metrics.ring.Put(tr)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(*b)))
 	_, _ = w.Write(*b)
@@ -316,6 +344,9 @@ type batchItem struct {
 	Delta    float64 `json:"delta"`
 	Seed     *int64  `json:"seed,omitempty"`
 	Mode     string  `json:"mode,omitempty"`
+	// Trace opts this entry into per-stage tracing (see
+	// answerRequest.Trace); the entry's ledger echoes the trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type batchRequest struct {
@@ -425,6 +456,10 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	// Successful entries keep their answers in mechanism-pool scratch
 	// until the response is encoded; outs[i] owns entry i's scratch.
 	outs := make([]releaseOut, len(req.Releases))
+	// traces[i] is entry i's opt-in trace (nil without "trace": true);
+	// the parent ID propagates from the incoming X-AM-Trace header.
+	traces := make([]*obs.Trace, len(req.Releases))
+	parentTrace := r.Header.Get(fleet.TraceHeader)
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, item := range req.Releases {
@@ -449,6 +484,9 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 						Error: fmt.Sprintf("internal error: %v", r)}
 				}
 			}()
+			if item.Trace {
+				traces[i] = obs.NewTrace("release", parentTrace)
+			}
 			out, ledger, rerr := s.releaseWith(&answerRequest{
 				Strategy: item.Strategy,
 				Dataset:  item.Dataset,
@@ -456,7 +494,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 				Delta:    item.Delta,
 				Seed:     item.Seed,
 				Mode:     item.Mode,
-			}, ents[i])
+			}, ents[i], traces[i])
 			if rerr != nil {
 				results[i] = batchResult{Index: i, Status: rerr.code, Error: rerr.msg, Remaining: rerr.remaining}
 				return
@@ -491,13 +529,19 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 			*b = append(*b, `{"index":`...)
 			*b = strconv.AppendInt(*b, int64(i), 10)
 			*b = append(*b, `,"status":200,"answers":`...)
+			tser := time.Now()
 			*b = appendFloats(*b, outs[i].ans)
+			traces[i].AddSpan("serialize", tser)
 			*b = append(*b, `,"ledger":`...)
-			*b = appendBudget(*b, *results[i].Ledger)
+			*b = appendBudgetTrace(*b, *results[i].Ledger, traces[i])
 			*b = append(*b, '}')
 			outs[i].done()
+			traces[i].Finish(http.StatusOK)
+			s.metrics.ring.Put(traces[i])
 			continue
 		}
+		traces[i].Finish(results[i].Status)
+		s.metrics.ring.Put(traces[i])
 		enc, err := json.Marshal(&results[i])
 		if err != nil {
 			// Unreachable for these field types; keep the body well-formed.

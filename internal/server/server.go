@@ -89,7 +89,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"adaptivemm/internal/accountant"
@@ -208,6 +207,11 @@ type Server struct {
 	persistWG     sync.WaitGroup
 	logf          func(format string, args ...any)
 
+	// metrics is the server-wide observability core: the metric
+	// registry behind GET /metrics and the trace ring behind GET
+	// /debug/traces. Built once in Open, read-only afterwards.
+	metrics *serverMetrics
+
 	// streamSem bounds concurrent streamed releases (see handleStream):
 	// acquired non-blocking, so excess streams fail fast with 503 instead
 	// of queuing chunk buffers.
@@ -223,8 +227,6 @@ type Server struct {
 	// server. See fleet.go.
 	fleetSt  *fleetState
 	workerSt *workerFleetState
-	// shardRequests counts POST /shards served by this process.
-	shardRequests atomic.Int64
 	// fetched caches plans resolved by content address (local store or
 	// coordinator fetch), bounded FIFO; see cacheFetched.
 	fetchedMu    sync.Mutex
@@ -363,6 +365,10 @@ func Open(opts Options) (*Server, error) {
 		logf:        logf,
 		streamSem:   make(chan struct{}, maxStreams),
 	}
+	// The metrics core exists before any role wiring or rehydration so
+	// every later step (fleet counters, stage timers on rehydrated
+	// plans, store eviction counting) registers against it.
+	s.metrics = newServerMetrics(s)
 	if len(opts.FleetWorkers) > 0 && opts.CoordinatorURL != "" {
 		return nil, fmt.Errorf("server: a fleet coordinator cannot also be a worker; -workers and -worker-of are mutually exclusive")
 	}
@@ -376,6 +382,7 @@ func Open(opts Options) (*Server, error) {
 			requireRemote: opts.FleetRequireRemote,
 			stop:          make(chan struct{}),
 		}
+		s.metrics.registerFleetMetrics(s.fleetSt)
 		interval := opts.FleetProbeInterval
 		if interval == 0 {
 			interval = defaultProbeInterval
@@ -389,6 +396,7 @@ func Open(opts Options) (*Server, error) {
 			coordinator: strings.TrimRight(opts.CoordinatorURL, "/"),
 			hc:          &http.Client{Timeout: 30 * time.Second},
 		}
+		s.metrics.registerWorkerMetrics(s.workerSt)
 	}
 	if opts.StoreDir == "" {
 		return s, nil
@@ -399,32 +407,40 @@ func Open(opts Options) (*Server, error) {
 	}
 	s.store = store
 	if opts.StoreQuotaBytes > 0 {
-		store.SetQuota(opts.StoreQuotaBytes, logf)
+		// Every quota-eviction log line counts once in
+		// am_store_evictions_total on its way to the store component log.
+		store.SetQuota(opts.StoreQuotaBytes, func(format string, args ...any) {
+			s.metrics.evictions.Inc()
+			s.warnf(compStore, format, args...)
+		})
 	}
 	if rates, err := store.LoadCalibration(); err != nil {
-		logf("server: ignoring design-throughput calibration: %v", err)
+		s.warnf(compStore, "ignoring design-throughput calibration: %v", err)
 	} else if len(rates) > 0 {
 		s.pl.RestoreRates(rates)
 	}
-	loaded, err := store.LoadAll(logf)
+	loaded, err := store.LoadAll(func(format string, args ...any) {
+		s.warnf(compStore, format, args...)
+	})
 	if err != nil {
 		return nil, err
 	}
 	for _, l := range loaded {
 		if len(s.strategies) >= maxStoredStrategies {
-			logf("server: strategy table full at %d entries; remaining stored plans not rehydrated", maxStoredStrategies)
+			s.warnf(compStore, "strategy table full at %d entries; remaining stored plans not rehydrated", maxStoredStrategies)
 			break
 		}
 		s.nextID++
 		id := fmt.Sprintf("s%d", s.nextID)
 		ent := &entry{plan: l.Plan}
+		s.instrumentPlan(ent.plan.Mechanism)
 		s.strategies[id] = ent
 		s.cache[l.Meta.Key] = id
 		s.recordPlanID(l.Meta.Key, ent)
 		s.attachFleet(l.Meta.Key, ent)
 	}
 	if len(loaded) > 0 {
-		logf("server: rehydrated %d plan(s) from %s", len(loaded), opts.StoreDir)
+		s.infof(compStore, "rehydrated %d plan(s) from %s", len(loaded), opts.StoreDir)
 	}
 	s.persistCh = make(chan persistReq, persistQueueCap)
 	s.persistWG.Add(1)
@@ -440,11 +456,11 @@ func (s *Server) persistLoop() {
 	defer s.persistWG.Done()
 	for req := range s.persistCh {
 		if _, err := s.store.Put(req.key, req.plan); err != nil {
-			s.logf("server: persisting plan %q: %v", req.key, err)
+			s.warnf(compPersist, "persisting plan %q: %v", req.key, err)
 			continue
 		}
 		if err := s.store.SaveCalibration(s.pl.RateSnapshot()); err != nil {
-			s.logf("server: persisting calibration: %v", err)
+			s.warnf(compPersist, "persisting calibration: %v", err)
 		}
 	}
 }
@@ -465,7 +481,8 @@ func (s *Server) enqueuePersist(key string, plan *planner.Plan) {
 	select {
 	case s.persistCh <- persistReq{key: key, plan: plan}:
 	default:
-		s.logf("server: plan-persistence queue full (%d pending); dropping write for %q", persistQueueCap, key)
+		s.metrics.persistDrops.Inc()
+		s.warnf(compPersist, "plan-persistence queue full (%d pending); dropping write for %q", persistQueueCap, key)
 	}
 }
 
@@ -503,7 +520,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/plans/", s.handlePlanByID)
 	mux.HandleFunc("/fleet", s.handleFleet)
 	mux.HandleFunc("/shards/", s.handleShard)
-	return http.MaxBytesHandler(mux, maxRequestBody)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	return s.metrics.wrap(http.MaxBytesHandler(mux, maxRequestBody))
 }
 
 // decodeJSON decodes the request body into v, writing the error response
@@ -628,6 +647,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.RUnlock()
 		if ent != nil {
+			s.metrics.cacheHits.Inc()
 			if s.store != nil {
 				// A cache hit is this plan being served: protect its stored
 				// entry from quota eviction.
@@ -660,12 +680,19 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	}
 
 	hints.CacheKey = key
+	s.metrics.cacheMisses.Inc()
+	t0 := time.Now()
 	plan, err := s.pl.Plan(wl, hints)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "design failed: %v", err)
 		return
 	}
+	s.metrics.designSec.ObserveSince(t0)
+	if c, ok := s.metrics.designs[plan.Generator]; ok {
+		c.Inc()
+	}
 	ent := &entry{plan: plan}
+	s.instrumentPlan(plan.Mechanism)
 
 	s.mu.Lock()
 	if len(s.strategies) >= maxStoredStrategies {

@@ -30,11 +30,14 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	//lint:allow noiserand: client-pinned seeds for reproducible streamed releases against ad-hoc data, same policy as the buffered path (resolveAndReserve)
 	"math/rand"
 
+	"adaptivemm/internal/fleet"
 	"adaptivemm/internal/mm"
+	"adaptivemm/internal/obs"
 )
 
 // defaultMaxStreams bounds concurrent streamed releases when Options
@@ -104,12 +107,23 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, req *answe
 	select {
 	case s.streamSem <- struct{}{}:
 	default:
+		s.metrics.streamRejects.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable,
 			"server is at its limit of concurrent streamed releases; retry shortly")
 		return
 	}
 	defer func() { <-s.streamSem }()
+
+	// Opt-in trace: the stream's noise + inference run inside
+	// StreamRelease, recorded as one "release" span (the stage
+	// breakdown is always on in am_release_stage_seconds); the chunk
+	// loop is the "stream" span.
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace("stream", r.Header.Get(fleet.TraceHeader))
+	}
+	t0 := time.Now()
 
 	s.mu.RLock()
 	ent := s.strategies[req.Strategy]
@@ -141,13 +155,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, req *answe
 	}()
 
 	mech := ent.plan.Mechanism
+	tRel := time.Now()
 	st, err := mech.StreamRelease(ent.plan.Workload, hist, p, noise, chunkSize)
 	if err != nil {
+		tr.Finish(http.StatusUnprocessableEntity)
+		s.metrics.ring.Put(tr)
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	tr.AddSpan("release", tRel)
 	defer st.Close()
 	res.Commit()
+	s.metrics.releases.Inc()
 	ledger := fromAcct(s.acct.Spent(acctName))
 
 	flusher, _ := w.(http.Flusher)
@@ -168,7 +187,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, req *answe
 	*b = append(*b, `,"chunkSize":`...)
 	*b = strconv.AppendInt(*b, int64(st.ChunkSize()), 10)
 	*b = append(*b, `,"ledger":`...)
-	*b = appendBudget(*b, ledger)
+	*b = appendBudgetTrace(*b, ledger, tr)
 	*b = append(*b, '}', '\n')
 	if _, err := w.Write(*b); err != nil {
 		return
@@ -179,6 +198,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, req *answe
 
 	sum := fnv64Offset
 	count := 0
+	tStream := time.Now()
 	for {
 		off, chunk, ok := st.Next()
 		if !ok {
@@ -201,6 +221,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, req *answe
 		count += len(chunk)
 	}
 
+	tr.AddSpan("stream", tStream)
 	*b = append((*b)[:0], `{"done":true,"count":`...)
 	*b = strconv.AppendInt(*b, int64(count), 10)
 	*b = append(*b, `,"checksum":"`...)
@@ -210,6 +231,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, req *answe
 	if flusher != nil {
 		flusher.Flush()
 	}
+	tr.Finish(http.StatusOK)
+	s.metrics.ring.Put(tr)
+	s.metrics.releaseSec.ObserveSince(t0)
 }
 
 // appendHex16 appends sum as exactly 16 lowercase hex digits.
